@@ -1,0 +1,31 @@
+"""Figure 7: execution-time speedups of the four compiler configurations.
+
+Paper shape being validated: the atomic+aggressive configuration wins on
+average and beats plain aggressive inlining (speculation > pure scope
+enlargement); plain atomic helps on average but *hurts* jython (the §6.1
+polymorphic-getitem pathology), which the forced-monomorphic grey bar
+recovers.
+"""
+
+from repro.harness import figure7, render
+
+
+def test_figure7_speedups(once):
+    data = once(figure7)
+    print()
+    print(render(data))
+    averages = data.averages()
+    atomic_avg, no_atomic_aggr_avg, atomic_aggr_avg = averages
+
+    # Shape assertions (who wins, direction of effects).
+    assert atomic_aggr_avg > 0, "atomic+aggressive must win on average"
+    assert atomic_aggr_avg > no_atomic_aggr_avg, (
+        "speculation must beat pure inlining-scope enlargement"
+    )
+    # jython slows down under plain atomic (paper §6.1)...
+    assert data.rows["jython"][0] < 0
+    # ...but wins under aggressive inlining.
+    assert data.rows["jython"][2] > 0
+    # pmd is the weakest benchmark (paper: ~2%).
+    aggr_col = {b: v[2] for b, v in data.rows.items()}
+    assert aggr_col["pmd"] <= sorted(aggr_col.values())[3]

@@ -1,0 +1,23 @@
+"""Figure 8: dynamic micro-operation reduction.
+
+Paper shape: ~11% average uop reduction for the atomic configurations,
+roughly tracking the Figure-7 speedups; the reduction comes from removed
+redundancy and SLE, not just fewer-but-bigger instructions.
+"""
+
+from repro.harness import figure8, render
+
+
+def test_figure8_uop_reduction(once):
+    data = once(figure8)
+    print()
+    print(render(data))
+    averages = data.averages()
+    atomic_aggr_avg = averages[2]
+    assert atomic_aggr_avg > 5.0, "average uop reduction should be substantial"
+    # The strongly redundancy-rich benchmarks must reduce uops the most.
+    aggr = {b: v[2] for b, v in data.rows.items()}
+    assert aggr["xalan"] > 10.0
+    assert aggr["hsqldb"] > 10.0
+    # fop barely changes (tiny regions, Table 3).
+    assert abs(aggr["fop"]) < 5.0

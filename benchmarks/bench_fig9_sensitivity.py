@@ -1,0 +1,27 @@
+"""Figure 9: sensitivity to the hardware atomic-primitive implementation.
+
+Paper shape: a 20-cycle stall at every ``aregion_begin``, or restricting
+the pipeline to a single in-flight region, erases most of the benefit of
+atomic regions — "both of these configurations effectively eliminate the
+benefit... the sole exception is antlr, which shows limited sensitivity
+because its execution uses atomic regions rather sparingly."
+"""
+
+from repro.harness import figure9, render
+
+
+def test_figure9_hardware_sensitivity(once):
+    data = once(figure9)
+    print()
+    print(render(data))
+    averages = data.averages()
+    chkpt_avg, stall_avg, single_avg = averages
+
+    # Degraded implementations lose a substantial part of the benefit,
+    # with single-inflight (full serialization) worse than the fixed stall.
+    assert stall_avg < chkpt_avg - 3.0
+    assert single_avg < stall_avg
+    assert single_avg < 0.6 * chkpt_avg
+    # antlr barely cares (sparse region usage).
+    antlr = data.rows["antlr"]
+    assert abs(antlr[0] - antlr[1]) < 4.0

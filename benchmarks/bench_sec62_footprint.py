@@ -1,0 +1,30 @@
+"""§6.2: architectural analysis of atomic regions.
+
+Paper shape: a non-trivial fraction of regions exceeds the 128-entry
+instruction window (so checkpoints, not the ROB, must provide recovery);
+data footprints are small — most regions touch <10 cache lines, ~50 lines
+covers 99%, and overflows of the L1-bounded best-effort limit are
+essentially nonexistent.
+"""
+
+from repro.harness import render, section62
+
+
+def test_section62_footprints(once):
+    data = once(section62)
+    print()
+    print(render(data))
+    p99 = {b: v[2] for b, v in data.rows.items()}
+    medians = {b: v[1] for b, v in data.rows.items()}
+    max_lines = {b: v[3] for b, v in data.rows.items()}
+
+    populated = [b for b, v in data.rows.items() if v[3] > 0]
+    assert populated, "at least some benchmarks must form regions"
+    # Footprints are tiny relative to a 512-line L1.
+    assert all(medians[b] <= 50 for b in populated)
+    assert all(p99[b] <= 100 for b in populated)
+    assert all(max_lines[b] <= 448 for b in populated), "no overflow aborts"
+    # Some benchmark has regions beyond the 128-uop window: register
+    # checkpoints (not the ROB) must provide recovery, as the paper argues.
+    over_window = {b: v[0] for b, v in data.rows.items()}
+    assert max(over_window.values()) > 10.0

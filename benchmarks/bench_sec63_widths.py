@@ -1,0 +1,24 @@
+"""§6.3: narrower cores.
+
+Paper shape: "the relative speedups achieved by our atomic region-based
+optimizations closely tracked the 4-wide OOO results (generally within a
+percent or two)" on a 2-wide machine and a 2-wide machine with halved
+structures.
+"""
+
+from repro.harness import render, section63
+
+
+def test_section63_core_widths(once):
+    data = once(section63)
+    print()
+    print(render(data))
+    averages = data.averages()
+    four_wide, two_wide, two_wide_half = averages
+    # The averages track each other within a few percent.
+    assert abs(four_wide - two_wide) < 6.0
+    assert abs(four_wide - two_wide_half) < 6.0
+    # Per-benchmark sign agreement for the decisive winners/losers.
+    for bench, values in data.rows.items():
+        if abs(values[0]) > 5.0:
+            assert values[0] * values[1] > 0, f"{bench} flips sign at 2-wide"

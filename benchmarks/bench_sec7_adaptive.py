@@ -1,0 +1,25 @@
+"""§7 (future work): adaptive recompilation driven by hardware abort
+diagnosis.
+
+Paper claim exercised: pmd's slowdown comes from a post-profiling behavior
+change whose "negative impacts on performance can be eliminated through
+adaptive recompilation when an atomic region begins to frequently abort";
+the hardware's abort-reason/abort-PC registers identify the failing
+assertion, and recompiling with that branch barred from assert conversion
+removes the aborts.
+"""
+
+from repro.harness import render, section7_adaptive
+
+
+def test_section7_adaptive_recompilation(once):
+    data = once(section7_adaptive, "pmd")
+    print()
+    print(render(data))
+    static_speedup, static_abort, _ = data.rows["static"]
+    adaptive_speedup, adaptive_abort, recompiles = data.rows["adaptive"]
+
+    assert static_abort > 0.5, "pmd's phase change must cause aborts"
+    assert recompiles >= 1, "the controller must recompile"
+    assert adaptive_abort < static_abort, "recompilation must cut aborts"
+    assert adaptive_speedup >= static_speedup - 1.0

@@ -1,0 +1,68 @@
+"""§7 (future work): post-dominance bounds-check elimination.
+
+The paper's example: inside an atomic region, ``check_bounds(c_length, i)``
+may be removed when post-dominated by the subsuming
+``check_bounds(c_length, i+1)`` — illegal outside a region, safe inside
+because a failing later check aborts to non-speculative code that re-tests
+both checks precisely.
+"""
+
+from repro.atomic import FormationConfig, eliminate_postdominated_checks, form_regions
+from repro.ir import Kind, build_ir
+from repro.lang import ProgramBuilder
+from repro.opt import optimize
+from repro.runtime import Interpreter, ProfileStore
+
+
+def build_program():
+    pb = ProgramBuilder()
+    m = pb.method("work", params=("n",))
+    n = m.param(0)
+    cap = m.const(512)
+    arr = m.newarr(cap)
+    i = m.const(0)
+    one = m.const(1)
+    limit = m.const(500)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, limit, "done")
+    m.astore(arr, i, i)          # check_bounds(len, i)
+    i1 = m.add(i, one)
+    m.astore(arr, i1, i1)        # check_bounds(len, i+1): subsumes the above
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    z = m.const(0)
+    out = m.aload(arr, z)
+    m.ret(out)
+    return pb.build()
+
+
+def run_postdom():
+    program = build_program()
+    profiles = ProfileStore()
+    interp = Interpreter(program, profiles=profiles)
+    method = program.resolve_static("work")
+    for _ in range(3):
+        interp.invoke(method, [0])
+
+    graph = build_ir(method, profiles.method("work"))
+    form_regions(graph, None, FormationConfig(require_benefit=False))
+    optimize(graph)
+
+    def count():
+        return sum(1 for b in graph.blocks for op in b.ops
+                   if op.kind is Kind.CHECK_BOUNDS)
+
+    before = count()
+    removed = eliminate_postdominated_checks(graph)
+    after = count()
+    return before, removed, after
+
+
+def test_section7_postdominance_checks(once):
+    before, removed, after = once(run_postdom)
+    print(f"\nSec 7 postdom check elimination: "
+          f"{before} bounds checks -> {after} (removed {removed})")
+    assert removed >= 1
+    assert after == before - removed

@@ -1,0 +1,31 @@
+"""Table 2: the benchmark roster, plus end-to-end correctness of each
+workload under the most aggressive configuration (the harness's version of
+'the benchmark suite runs')."""
+
+from repro.harness import render, table2, verify_workload_correctness
+from repro.vm import ATOMIC_AGGRESSIVE
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_table2_roster(once):
+    data = once(table2)
+    print()
+    print(render(data))
+    assert set(data.rows) == {
+        "antlr", "bloat", "fop", "hsqldb", "jython", "pmd", "xalan"
+    }
+    # Multi-phase benchmarks carry multiple samples (paper Table 2's '#').
+    assert data.rows["antlr"][0] == 4
+    assert data.rows["bloat"][0] == 4
+    assert data.rows["pmd"][0] == 4
+    assert data.rows["fop"][0] == 2
+    assert data.rows["hsqldb"][0] == 1
+
+
+def test_workloads_compute_correct_results(once):
+    def verify_all():
+        for workload in ALL_WORKLOADS.values():
+            verify_workload_correctness(workload, ATOMIC_AGGRESSIVE)
+        return True
+
+    assert once(verify_all)

@@ -1,0 +1,31 @@
+"""Table 3: atomic region statistics under atomic+aggressive inlining.
+
+Paper shape: coverage spans a wide range (9%..87%) with antlr lowest and
+jython/hsqldb/xalan high; abort rates stay in the few-percent range with
+fop/antlr essentially abort-free; region sizes tens-to-hundreds of uops.
+"""
+
+from repro.harness import render, table3
+
+
+def test_table3_region_statistics(once):
+    data = once(table3)
+    print()
+    print(render(data))
+    coverage = {b: v[0] for b, v in data.rows.items()}
+    abort_pct = {b: v[3] for b, v in data.rows.items()}
+    size = {b: v[2] for b, v in data.rows.items()}
+
+    # antlr sits in the low-coverage group (paper: 9%, lowest with fop).
+    assert coverage["antlr"] <= sorted(coverage.values())[1]
+    assert coverage["antlr"] < 0.25
+    # The high-coverage group (paper: bloat/hsqldb/jython/xalan >= 69%).
+    assert coverage["hsqldb"] > 0.5
+    assert coverage["jython"] > 0.4
+    # Abort rates: fop and antlr essentially never abort.
+    assert abort_pct["antlr"] < 0.2
+    assert abort_pct["fop"] < 0.2
+    # Every abort rate stays within an order of magnitude of the paper's.
+    assert all(rate < 15.0 for rate in abort_pct.values())
+    # Region sizes are tens to hundreds of uops.
+    assert all(10 <= s <= 500 for s in size.values() if s > 0)

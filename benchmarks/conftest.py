@@ -1,0 +1,20 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Runs are memoized in :mod:`repro.harness.experiment`'s module cache, so the
+many figures sharing the same (workload, compiler, hardware) runs only pay
+for them once per pytest session.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (simulations are themselves
+    the experiment; statistical repetition adds nothing but wall time)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

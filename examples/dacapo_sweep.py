@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Run the full evaluation: all seven DaCapo-shaped benchmarks under all
+four compiler configurations, printing Figure 7, Figure 8, and Table 3.
+
+This is the long-running example (a few minutes): it performs the same
+runs the benchmark suite performs.  Pass benchmark names to restrict it,
+e.g.  python examples/dacapo_sweep.py xalan hsqldb
+"""
+
+import sys
+
+from repro.harness import figure7, figure8, render, table3
+
+
+def main():
+    benches = sys.argv[1:] or None
+    for builder in (figure7, figure8, table3):
+        data = builder(benches)
+        print()
+        print(render(data))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a hot loop with and without atomic regions.
+
+Builds a tiny guest program (a hot loop with a cold overflow path), runs it
+through the full tiered VM under the baseline and the atomic-region
+compiler, and prints what the hardware saw: uops, cycles, regions,
+asserts, aborts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.lang import ProgramBuilder
+from repro.vm import ATOMIC_AGGRESSIVE, NO_ATOMIC, TieredVM, VMOptions
+
+
+def build_program():
+    """A vector-append loop: hot fast path, cold grow path (paper Figure 2)."""
+    pb = ProgramBuilder()
+    pb.cls("Vec", fields=["data", "len"])
+
+    push = pb.method("push", params=("vec", "value"))
+    vec, value = push.param(0), push.param(1)
+    data = push.getfield(vec, "data")
+    length = push.getfield(vec, "len")
+    cap = push.alen(data)
+    push.br("ge", length, cap, "grow")
+    push.astore(data, length, value)
+    one = push.const(1)
+    l2 = push.add(length, one)
+    push.putfield(vec, "len", l2)
+    push.ret(l2)
+    push.label("grow")  # cold: double the capacity
+    two = push.const(2)
+    ncap = push.mul(cap, two)
+    bigger = push.newarr(ncap)
+    i = push.const(0)
+    gone = push.const(1)
+    push.label("copy")
+    push.br("ge", i, length, "copied")
+    v = push.aload(data, i)
+    push.astore(bigger, i, v)
+    push.add(i, gone, dst=i)
+    push.jmp("copy")
+    push.label("copied")
+    push.putfield(vec, "data", bigger)
+    push.astore(bigger, length, value)
+    l3 = push.add(length, gone)
+    push.putfield(vec, "len", l3)
+    push.ret(l3)
+
+    work = pb.method("work", params=("n",))
+    n = work.param(0)
+    vec = work.new("Vec")
+    cap0 = work.const(4096)
+    arr = work.newarr(cap0)
+    work.putfield(vec, "data", arr)
+    i = work.const(0)
+    one = work.const(1)
+    work.label("head")
+    work.safepoint()
+    work.br("ge", i, n, "done")
+    work.call("push", (vec, i))
+    work.call("push", (vec, i))
+    work.add(i, one, dst=i)
+    work.jmp("head")
+    work.label("done")
+    out = work.getfield(vec, "len")
+    work.ret(out)
+    return pb.build()
+
+
+def run(config, label):
+    program = build_program()
+    vm = TieredVM(program, compiler_config=config,
+                  options=VMOptions(compile_threshold=2))
+    vm.warm_up("work", [[500]] * 4)       # tier-0 profiling
+    vm.compile_hot(min_invocations=1)     # tier-1 compilation
+    vm.start_measurement()
+    result = vm.run("work", [1500])
+    stats = vm.end_measurement()
+    print(f"\n=== {label} ===")
+    print(f"  guest result : {result}")
+    print(f"  retired uops : {stats.uops_retired}")
+    print(f"  cycles       : {stats.cycles:.0f}")
+    print(f"  regions      : {stats.regions_entered} entered, "
+          f"{stats.regions_committed} committed, "
+          f"{stats.regions_aborted} aborted")
+    print(f"  coverage     : {stats.coverage:.1%} of uops inside regions")
+    if stats.abort_reasons:
+        print(f"  abort causes : {dict(stats.abort_reasons)}")
+    return stats
+
+
+def main():
+    base = run(NO_ATOMIC, "no-atomic (baseline compiler)")
+    atomic = run(ATOMIC_AGGRESSIVE, "atomic + aggressive inlining")
+    speedup = (base.cycles / atomic.cycles - 1) * 100
+    reduction = (1 - atomic.uops_retired / base.uops_retired) * 100
+    print(f"\nspeedup: {speedup:+.1f}%   uop reduction: {reduction:+.1f}%")
+    print("(the atomic compiler asserted away the cold grow path, so the "
+          "hot path's\n checks and loads deduplicate — no compensation code "
+          "required)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's §2 worked example, end to end, with IR dumps.
+
+Reproduces Figures 2 and 3: two sequential ``addElement`` calls on a
+SuballocatedIntVector.  Shows the IR of the hot path (a) after inlining
+under the baseline compiler (redundant checks/loads survive because of the
+cold grow-path side entrances) and (b) inside an atomic region (cold edges
+are asserts; GVN and load elimination collapse the body — with *zero*
+compensation code).
+
+Run:  python examples/suballocated_vector.py
+"""
+
+from repro.atomic import apply_sle, form_regions, region_membership
+from repro.ir import Kind, build_ir, format_block
+from repro.opt import InlineConfig, Inliner, optimize
+from repro.runtime import Interpreter, ProfileStore
+from repro.workloads.xalan import build as build_xalan
+
+
+def compile_graph(atomic: bool):
+    program = build_xalan()
+    profiles = ProfileStore()
+    interp = Interpreter(program, profiles=profiles)
+    method = program.resolve_static("work")
+    for _ in range(4):
+        interp.invoke(method, [300])
+
+    graph = build_ir(method, profiles.method("work"))
+    inliner = Inliner(program, profiles, InlineConfig(aggressive=True))
+    result = inliner.run(graph, method)
+    formation = None
+    if atomic:
+        formation = form_regions(graph, result)
+    optimize(graph)
+    if atomic:
+        apply_sle(graph)
+        optimize(graph)
+    return graph, formation
+
+
+def op_histogram(graph, block_filter):
+    counts = {}
+    for block in graph.blocks:
+        if block_filter(block):
+            for op in block.ops:
+                counts[op.kind.name] = counts.get(op.kind.name, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+
+def main():
+    print("=" * 72)
+    print("BASELINE: aggressive inlining, no atomic regions")
+    print("=" * 72)
+    base_graph, _ = compile_graph(atomic=False)
+    print("op histogram:", op_histogram(base_graph, lambda b: True))
+
+    print()
+    print("=" * 72)
+    print("ATOMIC: same passes + region formation (+SLE)")
+    print("=" * 72)
+    atomic_graph, formation = compile_graph(atomic=True)
+    membership = region_membership(atomic_graph)
+    print("regions formed:", len(formation.regions))
+    for region in formation.regions:
+        print(f"  region {region.region_id}: unroll x{region.unroll_factor}, "
+              f"{len(region.asserts)} asserts")
+    print("in-region op histogram:",
+          op_histogram(atomic_graph, lambda b: membership.get(b.id) is not None))
+
+    print()
+    print("--- speculative region code (first blocks) ---")
+    shown = 0
+    for block in atomic_graph.rpo():
+        if membership.get(block.id) is not None and block.ops:
+            print(format_block(block))
+            shown += 1
+            if shown >= 4:
+                break
+
+    # Point out the headline effects.
+    def count(graph, kind, pred):
+        return sum(1 for b in graph.blocks if pred(b)
+                   for op in b.ops if op.kind is kind)
+
+    in_region = lambda b: membership.get(b.id) is not None  # noqa: E731
+    print()
+    print("Figure 3's transformation, in numbers (per region copy):")
+    copies = max(1, sum(r.unroll_factor for r in formation.regions))
+    for kind in (Kind.CHECK_NULL, Kind.GETFIELD, Kind.MONITOR_ENTER,
+                 Kind.SLE_ENTER, Kind.ASSERT):
+        base_n = count(base_graph, kind, lambda b: True)
+        region_n = count(atomic_graph, kind, in_region) / copies
+        print(f"  {kind.name:14s}: baseline {base_n:3d}   in-region {region_n:5.1f}")
+
+
+if __name__ == "__main__":
+    main()

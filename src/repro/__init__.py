@@ -1,0 +1,30 @@
+"""repro — a reproduction of "Hardware Atomicity for Reliable Software
+Speculation" (Neelakantam, Rajwar, Srinivas, Srinivasan, Zilles; ISCA 2007).
+
+The package provides:
+
+- :mod:`repro.lang` — a register-based OO guest bytecode (the "Java" stand-in),
+- :mod:`repro.runtime` — heap, monitors, and a tier-0 profiling interpreter,
+- :mod:`repro.ir` — the optimizing compiler's CFG/SSA intermediate form,
+- :mod:`repro.opt` — classical non-speculative optimization passes,
+- :mod:`repro.atomic` — the paper's contribution: atomic-region formation
+  (Algorithms 1 and 2), assert conversion, partial inlining/unrolling, SLE,
+- :mod:`repro.hw` — the simulated checkpoint-architecture processor with the
+  ``aregion_begin`` / ``aregion_end`` / ``aregion_abort`` ISA extensions,
+- :mod:`repro.vm` — the tiered VM binding all of the above together,
+- :mod:`repro.workloads` — DaCapo-shaped synthetic benchmarks,
+- :mod:`repro.harness` — experiment drivers for every table and figure.
+
+Quickstart::
+
+    from repro.harness import run_workload
+    from repro.vm import ATOMIC_AGGRESSIVE, NO_ATOMIC
+    from repro.workloads import get_workload
+
+    workload = get_workload("xalan")
+    base = run_workload(workload, NO_ATOMIC)
+    atomic = run_workload(workload, ATOMIC_AGGRESSIVE)
+    print(f"speedup: {atomic.speedup_over(base):+.1f}%")
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""The paper's contribution: atomic-region formation and region-enabled
+optimizations (partial inlining/unrolling, SLE, post-dominance checks)."""
+
+from .boundaries import candidate_positions, pi_cost, select_acyclic_boundaries
+from .formation import FormationConfig, FormationResult, form_regions
+from .postdom import eliminate_postdominated_checks
+from .regionmap import blocks_by_region, region_membership
+from .replicate import (
+    AssertSite,
+    RegionInfo,
+    cold_edge_fn,
+    collect_region_blocks,
+    interpose_region_entry,
+    is_stop_block,
+    replicate_region,
+)
+from .sle import apply_sle
+from .ssarepair import repair_ssa
+from .trace import (
+    dominant_in_edge,
+    dominant_out_edge,
+    has_call_on_warm_path,
+    trace_dominant_path,
+)
+
+__all__ = [
+    "AssertSite",
+    "FormationConfig",
+    "FormationResult",
+    "RegionInfo",
+    "apply_sle",
+    "blocks_by_region",
+    "candidate_positions",
+    "cold_edge_fn",
+    "collect_region_blocks",
+    "dominant_in_edge",
+    "dominant_out_edge",
+    "eliminate_postdominated_checks",
+    "form_regions",
+    "has_call_on_warm_path",
+    "interpose_region_entry",
+    "is_stop_block",
+    "pi_cost",
+    "region_membership",
+    "repair_ssa",
+    "replicate_region",
+    "select_acyclic_boundaries",
+    "trace_dominant_path",
+]

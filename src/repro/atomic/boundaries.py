@@ -1,0 +1,109 @@
+"""Equation 1 boundary selection (paper's SELECTACYCLICBOUNDARIES).
+
+Given the dominant path and the candidate boundary positions on it (path
+start, path end, loop pre-headers, loop exits), choose the subset that
+partitions the path into regions of size near the target R, minimizing
+
+    Π = Σ (R − rₙ)² / (R · rₙ)                              (Equation 1)
+
+over the region sizes rₙ.  The paper notes this objective was originally
+the task-selection criterion of MSSP [Zilles & Sohi, MICRO 2002].
+
+The optimum over "subsets of candidates that include both endpoints" is
+computed exactly with an O(k²) dynamic program over candidate positions.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block
+from ..ir.loops import LoopForest
+
+
+def pi_cost(region_size: float, target: float) -> float:
+    """Equation 1 contribution of one region of size ``region_size``."""
+    if region_size <= 0:
+        return float("inf")
+    return (target - region_size) ** 2 / (target * region_size)
+
+
+def candidate_positions(path: list[Block], forest: LoopForest) -> list[int]:
+    """Indices into ``path`` that may become region boundaries.
+
+    Candidates: the path's start and end, every loop pre-header on the path
+    (a block outside a loop whose path successor is that loop's header) and
+    every loop exit on the path (first block outside a loop entered from
+    inside it).
+    """
+    if not path:
+        return []
+    candidates = {0, len(path) - 1}
+    for i in range(1, len(path)):
+        prev_loop = forest.innermost(path[i - 1])
+        cur_loop = forest.innermost(path[i])
+        if cur_loop is not prev_loop:
+            if cur_loop is not None and path[i] is cur_loop.header:
+                candidates.add(i - 1)  # pre-header position
+            if prev_loop is not None and (
+                cur_loop is None or path[i].id not in prev_loop.blocks
+            ):
+                candidates.add(i)  # loop-exit position
+    return sorted(candidates)
+
+
+def select_acyclic_boundaries(
+    path: list[Block],
+    forest: LoopForest,
+    target_ops: float,
+) -> list[Block]:
+    """Choose boundary blocks on ``path`` minimizing Equation 1.
+
+    Returns the selected blocks (path start always included: a region must
+    begin where the trace begins).
+    """
+    if not path:
+        return []
+    positions = candidate_positions(path, forest)
+    if len(positions) == 1:
+        return [path[positions[0]]]
+
+    # Prefix op counts for O(1) segment sizing.
+    prefix = [0.0]
+    for block in path:
+        prefix.append(prefix[-1] + block.op_count())
+
+    def segment_ops(i: int, j: int) -> float:
+        """HIR ops of the region spanning candidate i (inclusive) to j."""
+        return prefix[positions[j]] - prefix[positions[i]]
+
+    k = len(positions)
+    INF = float("inf")
+    best = [INF] * k
+    choice = [-1] * k
+    best[0] = 0.0
+    for j in range(1, k):
+        for i in range(j):
+            if best[i] == INF:
+                continue
+            cost = best[i] + pi_cost(segment_ops(i, j), target_ops)
+            if cost < best[j]:
+                best[j] = cost
+                choice[j] = i
+
+    selected_positions = []
+    cursor = k - 1
+    while cursor >= 0:
+        selected_positions.append(positions[cursor])
+        if cursor == 0:
+            break
+        cursor = choice[cursor]
+        if cursor == -1:  # unreachable candidate chain; fall back to start
+            selected_positions.append(positions[0])
+            break
+    selected_positions.reverse()
+    # Drop the path end as a boundary unless it is also the start: regions
+    # begin at boundaries; the end of the trace is where the *next* trace's
+    # boundary (or an existing stop) takes over.
+    blocks = [path[i] for i in selected_positions]
+    if len(blocks) > 1:
+        blocks = blocks[:-1]
+    return blocks

@@ -1,0 +1,88 @@
+"""Post-dominance bounds-check elimination inside atomic regions (paper §7).
+
+The paper's future-work observation: within an atomic region, a check A
+that is *post-dominated* by a subsuming check B may be removed — normally
+illegal (A might fail on an execution where B is never reached), but safe
+under atomicity because "if B fails, control will be transferred to a
+non-speculative version of the code that will test both A and B and report
+the failing check properly to the run time."  A hardware fault from the
+unguarded access likewise aborts to the precise non-speculative path.
+
+Subsumption implemented: CHECK_BOUNDS(len, i) is removed when
+CHECK_BOUNDS(len, i + c) with constant c ≥ 0 post-dominates it in the same
+region — the paper's exact example (removing ``check_bounds(c_length, i)``
+because ``check_bounds(c_length, i+1)`` post-dominates it, Figure 3).
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Graph
+from ..ir.dom import postdominator_tree
+from ..ir.ops import Kind, Node
+from .regionmap import blocks_by_region
+
+
+def _index_base_and_offset(index: Node) -> tuple[Node, int]:
+    """Decompose an index as (base, constant offset)."""
+    if index.kind is Kind.ADD:
+        a, b = index.operands
+        if b.kind is Kind.CONST:
+            return a, b.attrs["imm"]
+        if a.kind is Kind.CONST:
+            return b, a.attrs["imm"]
+    if index.kind is Kind.SUB and index.operands[1].kind is Kind.CONST:
+        return index.operands[0], -index.operands[1].attrs["imm"]
+    return index, 0
+
+
+def _subsumes(b_check: Node, a_check: Node) -> bool:
+    """Does check B imply check A (same length, index offset ≥ 0)?"""
+    if b_check.operands[0] is not a_check.operands[0]:
+        return False  # different length values
+    b_base, b_off = _index_base_and_offset(b_check.operands[1])
+    a_base, a_off = _index_base_and_offset(a_check.operands[1])
+    if b_base is not a_base:
+        return False
+    return b_off >= a_off
+
+
+def eliminate_postdominated_checks(graph: Graph) -> int:
+    """Remove region checks post-dominated by subsuming checks."""
+    groups = blocks_by_region(graph)
+    if not groups:
+        return 0
+    ptree, _virtual = postdominator_tree(graph)
+    removed = 0
+    for region_blocks in groups.values():
+        checks: list[Node] = [
+            op
+            for block in region_blocks
+            for op in block.ops
+            if op.kind is Kind.CHECK_BOUNDS
+        ]
+        if len(checks) < 2:
+            continue
+        order = {
+            op.id: i for block in region_blocks
+            for i, op in enumerate(block.ops)
+        }
+        for a in list(checks):
+            if a.block is None:
+                continue
+            for b in checks:
+                if b is a or b.block is None:
+                    continue
+                if not _subsumes(b, a):
+                    continue
+                if b.block is a.block:
+                    # Same block: B must come after A.
+                    if order[b.id] <= order[a.id]:
+                        continue
+                    a.block.remove_op(a)
+                    removed += 1
+                    break
+                if ptree.dominates(b.block, a.block):
+                    a.block.remove_op(a)
+                    removed += 1
+                    break
+    return removed

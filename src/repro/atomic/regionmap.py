@@ -1,0 +1,59 @@
+"""Region membership analysis: which blocks execute inside which region.
+
+Shared by SLE, the postdominance check eliminator, the verifier-style
+invariant checks, and the code generator — all of which need to know, for
+an arbitrary (possibly merged-by-simplify) graph, which blocks run
+speculatively.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.ops import Kind
+
+
+def region_membership(graph: Graph) -> dict[int, int | None]:
+    """Map block id -> region id for in-region blocks (None outside).
+
+    Computed by forward propagation from the entry: REGION_BEGIN's first
+    successor enters the region, its second leaves it (recovery), and a
+    block containing AREGION_END exits it for its successors.
+    """
+    assert graph.entry is not None
+    state: dict[int, int | None] = {graph.entry.id: None}
+    worklist = [graph.entry]
+    seen = {graph.entry.id}
+    while worklist:
+        block = worklist.pop()
+        current = state.get(block.id)
+        term = block.terminator
+        if term is None:
+            continue
+        out: int | None = current
+        if any(op.kind is Kind.AREGION_END for op in block.ops):
+            out = None
+        for index, succ in enumerate(block.succs):
+            if term.kind is Kind.REGION_BEGIN:
+                succ_state = term.attrs.get("region_id") if index == 0 else None
+            else:
+                succ_state = out
+            if succ.id not in seen:
+                seen.add(succ.id)
+                state[succ.id] = succ_state
+                worklist.append(succ)
+            elif state.get(succ.id) != succ_state and succ_state is not None:
+                # Conflicting states would indicate malformed regions; the
+                # verifier reports those.  Keep the first state here.
+                pass
+    return state
+
+
+def blocks_by_region(graph: Graph) -> dict[int, list[Block]]:
+    """Group in-region blocks by region id."""
+    membership = region_membership(graph)
+    groups: dict[int, list[Block]] = {}
+    for block in graph.blocks:
+        rid = membership.get(block.id)
+        if rid is not None:
+            groups.setdefault(rid, []).append(block)
+    return groups

@@ -1,0 +1,115 @@
+"""Speculative lock elision inside atomic regions (paper §4).
+
+"When a balanced pair of monitor operations is contained within an atomic
+region, our implementation of SLE must only load the value of the lock upon
+monitor entry and verify — a compare and branch — that it is not held by
+another thread.  In the common case, no action is needed at the monitor
+exit."
+
+The transformation: MONITOR_ENTER becomes SLE_ENTER (load + compare +
+conditional abort), the matching MONITOR_EXIT disappears.  Balance is
+established either within one block (stack matching) or across blocks when
+the enter dominates the exit, the exit post-dominates the enter, and no
+other monitor operation on the same object intervenes.
+
+The isolation guarantee of hardware atomicity is what makes this sound:
+memory operations in the region appear to other threads to execute at the
+commit instant, so a lock that was free at SLE_ENTER is logically held for
+zero time.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.dom import dominator_tree, postdominator_tree
+from ..ir.ops import Kind, Node
+from .regionmap import blocks_by_region
+
+_MONITOR_KINDS = (Kind.MONITOR_ENTER, Kind.MONITOR_EXIT)
+
+
+def apply_sle(graph: Graph) -> int:
+    """Elide balanced monitor pairs inside regions; returns pairs elided."""
+    groups = blocks_by_region(graph)
+    if not groups:
+        return 0
+    elided = 0
+    for region_blocks in groups.values():
+        elided += _elide_local_pairs(region_blocks)
+    # Cross-block pairs need fresh dominance information.
+    remaining = any(
+        op.kind in _MONITOR_KINDS
+        for blocks in groups.values()
+        for b in blocks
+        for op in b.ops
+    )
+    if remaining:
+        tree = dominator_tree(graph)
+        ptree, _virtual = postdominator_tree(graph)
+        for region_blocks in blocks_by_region(graph).values():
+            elided += _elide_cross_block_pairs(region_blocks, tree, ptree)
+    return elided
+
+
+def _elide_local_pairs(blocks: list[Block]) -> int:
+    """Stack-match ENTER/EXIT pairs on the same object within one block."""
+    elided = 0
+    for block in blocks:
+        stack: list[Node] = []
+        pairs: list[tuple[Node, Node]] = []
+        for op in block.ops:
+            if op.kind is Kind.MONITOR_ENTER:
+                stack.append(op)
+            elif op.kind is Kind.MONITOR_EXIT:
+                if stack and stack[-1].operands[0] is op.operands[0]:
+                    pairs.append((stack.pop(), op))
+                else:
+                    stack.clear()  # unbalanced; stop matching in this block
+        for enter, exit_op in pairs:
+            _convert(block, enter, exit_op)
+            elided += 1
+    return elided
+
+
+def _elide_cross_block_pairs(blocks, tree, ptree) -> int:
+    """Match a single ENTER against a single EXIT across region blocks."""
+    by_obj: dict[int, dict[str, list[tuple[Block, Node]]]] = {}
+    for block in blocks:
+        for op in block.ops:
+            if op.kind in _MONITOR_KINDS:
+                entry = by_obj.setdefault(op.operands[0].id, {"e": [], "x": []})
+                entry["e" if op.kind is Kind.MONITOR_ENTER else "x"].append(
+                    (block, op)
+                )
+    elided = 0
+    for obj_id, found in by_obj.items():
+        if len(found["e"]) != 1 or len(found["x"]) != 1:
+            continue
+        (eb, enter), (xb, exit_op) = found["e"][0], found["x"][0]
+        if eb is xb:
+            continue  # local matching already declined this pair
+        if not tree.dominates(eb, xb):
+            continue
+        if not ptree.dominates(xb, eb):
+            continue
+        _convert_cross(eb, enter, xb, exit_op)
+        elided += 1
+    return elided
+
+
+def _convert(block: Block, enter: Node, exit_op: Node) -> None:
+    index = block.ops.index(enter)
+    sle = Node(Kind.SLE_ENTER, [enter.operands[0]], bytecode_pc=enter.bytecode_pc)
+    block.ops[index] = sle
+    sle.block = block
+    enter.block = None
+    block.remove_op(exit_op)
+
+
+def _convert_cross(eb: Block, enter: Node, xb: Block, exit_op: Node) -> None:
+    index = eb.ops.index(enter)
+    sle = Node(Kind.SLE_ENTER, [enter.operands[0]], bytecode_pc=enter.bytecode_pc)
+    eb.ops[index] = sle
+    sle.block = eb
+    enter.block = None
+    xb.remove_op(exit_op)

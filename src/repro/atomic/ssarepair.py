@@ -1,0 +1,195 @@
+"""SSA reconstruction after region replication.
+
+Replication clones the hot path; region exits jump from the clones back
+into the original (non-speculative) flow, and per-iteration regions chain
+exit → region-entry, making the entry block a *new loop header*.  Every
+value that is replicated therefore has multiple definitions (the original
+plus one per clone copy), and any of its uses — downstream code, recovery
+code, or live-in references inside the clones themselves — must be rewired
+to the definition actually reaching it.
+
+This is the textbook SSA-reconstruction algorithm: for each replicated
+value, insert phis at the iterated dominance frontier of all its definition
+blocks, then rewrite every use to its reaching definition (found by a
+position-aware walk up the dominator tree).
+
+This pass is the honest compiler-side cost of the paper's design: hardware
+atomicity removes per-optimization *compensation code* for aborts, but the
+compiler still owns state correctness at successful region exits — which is
+ordinary SSA bookkeeping, done once, for all optimizations at once.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.dom import DomTree, dominance_frontiers, dominator_tree
+from ..ir.ops import Kind, Node
+
+
+class _Positions:
+    """Lazily-computed, invalidatable node positions within blocks."""
+
+    def __init__(self) -> None:
+        self._tables: dict[int, dict[int, int]] = {}
+
+    def pos(self, block: Block, node: Node) -> int:
+        table = self._tables.get(block.id)
+        if table is None:
+            table = self._tables[block.id] = {
+                n.id: i for i, n in enumerate(block.all_nodes())
+            }
+        return table.get(node.id, -1)
+
+    def invalidate(self, block: Block) -> None:
+        self._tables.pop(block.id, None)
+
+
+def repair_ssa(graph: Graph, clone_map: dict[int, list[Node]]) -> int:
+    """Reconstruct SSA for every original value in ``clone_map``.
+
+    Returns the number of phi nodes inserted.
+    """
+    tree = dominator_tree(graph)
+    frontiers = dominance_frontiers(graph, tree)
+    reachable = {b.id for b in tree.order}
+
+    nodes_by_id: dict[int, Node] = {}
+    for block in graph.blocks:
+        for node in block.all_nodes():
+            nodes_by_id[node.id] = node
+
+    uses = _collect_uses(graph)
+    positions = _Positions()
+    inserted = 0
+
+    for original_id, clones in clone_map.items():
+        original = nodes_by_id.get(original_id)
+        if original is None or original.block is None:
+            continue
+        if original.block.id not in reachable:
+            continue
+        if not original.is_value():
+            continue
+        live_clones = [
+            c for c in clones
+            if c.block is not None and c.block.id in reachable
+        ]
+        if not live_clones:
+            continue
+        use_list = [
+            u for u in uses.get(original_id, ())
+            if u[0].block is not None and u[0].block.id in reachable
+        ]
+        if not use_list:
+            continue
+        inserted += _reconstruct_variable(
+            graph, tree, frontiers, original, live_clones, use_list, positions
+        )
+    return inserted
+
+
+def _collect_uses(graph: Graph):
+    """node id -> list of (user, operand index, pred block for phi uses)."""
+    uses: dict[int, list[tuple[Node, int, Block | None]]] = {}
+    for block in graph.blocks:
+        for phi in block.phis:
+            for index, operand in enumerate(phi.operands):
+                pred = block.preds[index][0] if index < len(block.preds) else None
+                uses.setdefault(operand.id, []).append((phi, index, pred))
+        for node in block.ops:
+            for index, operand in enumerate(node.operands):
+                uses.setdefault(operand.id, []).append((node, index, None))
+        term = block.terminator
+        if term is not None:
+            for index, operand in enumerate(term.operands):
+                uses.setdefault(operand.id, []).append((term, index, None))
+    return uses
+
+
+def _reconstruct_variable(
+    graph: Graph,
+    tree: DomTree,
+    frontiers,
+    original: Node,
+    clones: list[Node],
+    use_list,
+    positions: _Positions,
+) -> int:
+    defs = [original, *clones]
+    defs_in_block: dict[int, list[Node]] = {}
+    for d in defs:
+        defs_in_block.setdefault(d.block.id, []).append(d)
+    for block_id, block_defs in defs_in_block.items():
+        block_defs.sort(key=lambda d: positions.pos(d.block, d))
+
+    # Iterated dominance frontier of the definition blocks.
+    phi_blocks: dict[int, Node] = {}
+    worklist = [d.block for d in defs]
+    queued = {b.id for b in worklist}
+    inserted = 0
+    while worklist:
+        block = worklist.pop()
+        for join in frontiers.get(block.id, ()):
+            if join.id in phi_blocks:
+                continue
+            phi = Node(Kind.PHI)
+            phi.operands = [None] * len(join.preds)  # type: ignore[list-item]
+            phi.block = join
+            join.phis.append(phi)
+            positions.invalidate(join)
+            phi_blocks[join.id] = phi
+            inserted += 1
+            if join.id not in queued:
+                queued.add(join.id)
+                worklist.append(join)
+
+    undef: Node | None = None
+
+    def make_undef() -> Node:
+        nonlocal undef
+        if undef is None:
+            undef = Node(Kind.CONST, imm=0)
+            graph.entry.insert_op(0, undef)
+            positions.invalidate(graph.entry)
+        return undef
+
+    def reaching(block: Block, before_pos: int | None) -> Node:
+        """Definition reaching ``block`` at position ``before_pos`` (None =
+        end of block)."""
+        cursor: Block | None = block
+        limit = before_pos
+        while cursor is not None:
+            for d in reversed(defs_in_block.get(cursor.id, [])):
+                if limit is None or positions.pos(cursor, d) < limit:
+                    return d
+            phi = phi_blocks.get(cursor.id)
+            if phi is not None and (
+                limit is None or positions.pos(cursor, phi) < limit
+            ):
+                return phi
+            parent = tree.idom.get(cursor.id)
+            if parent is cursor or parent is None:
+                break
+            cursor = parent
+            limit = None
+        return make_undef()
+
+    # Fill inserted phi operands.
+    for block_id, phi in phi_blocks.items():
+        block = phi.block
+        for index, (pred, _) in enumerate(block.preds):
+            if phi.operands[index] is None:
+                phi.operands[index] = reaching(pred, None)
+
+    # Rewrite every use to its reaching definition.
+    for user, op_index, pred_for_phi in use_list:
+        if user.operands[op_index] is not original:
+            continue  # stale record (operand already rewritten)
+        if user.kind is Kind.PHI:
+            if pred_for_phi is None:
+                continue
+            target = reaching(pred_for_phi, None)
+        else:
+            target = reaching(user.block, positions.pos(user.block, user))
+        user.operands[op_index] = target
+    return inserted

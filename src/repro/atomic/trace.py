@@ -1,0 +1,112 @@
+"""Algorithm 2 of the paper: dominant-path tracing and loop weights.
+
+``trace_dominant_path`` reconstructs the most frequently executed path
+through a seed block by greedily following the hottest out-edge forward and
+the hottest in-edge backward, stopping at trace boundaries (method
+entry/exit, call blocks, already-selected region boundaries).  Cycles are
+broken by stopping when a block would repeat, which the paper's formulation
+achieves implicitly because loop headers on hot traces are already selected
+as boundaries by the loop pass.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.loops import Loop, loop_weight  # re-exported: LOOPWEIGHT lives there
+from ..ir.ops import Kind
+
+__all__ = ["trace_dominant_path", "dominant_out_edge", "dominant_in_edge",
+           "loop_weight", "block_has_call", "has_call_on_warm_path"]
+
+
+def dominant_out_edge(block: Block) -> Block | None:
+    """Paper's GETDOMINANTOUTEDGE: hottest successor of ``block``."""
+    if not block.succs:
+        return None
+    best_index = max(
+        range(len(block.succs)), key=lambda i: block.edge_count_to(i)
+    )
+    return block.succs[best_index]
+
+
+def dominant_in_edge(block: Block) -> Block | None:
+    """Paper's GETDOMINANTINEDGE: hottest predecessor of ``block``."""
+    if not block.preds:
+        return None
+    best = None
+    best_count = -1.0
+    for pred, succ_index in block.preds:
+        count = pred.edge_count_to(succ_index)
+        if count > best_count:
+            best, best_count = pred, count
+    return best
+
+
+def trace_dominant_path(
+    seed: Block, trace_boundaries: set[int]
+) -> list[Block]:
+    """Algorithm 2 TRACEDOMINANTPATH: hot path through ``seed``.
+
+    ``trace_boundaries`` holds block ids at which tracing stops (the
+    terminal boundary block is *included* in the path, matching the paper's
+    pseudocode which appends before testing).
+    """
+    path = [seed]
+    on_path = {seed.id}
+
+    # Forward.
+    block = seed
+    while block.id not in trace_boundaries or block is seed:
+        nxt = dominant_out_edge(block)
+        if nxt is None or nxt.id in on_path:
+            break
+        path.append(nxt)
+        on_path.add(nxt.id)
+        block = nxt
+        if block.id in trace_boundaries:
+            break
+
+    # Backward.
+    block = seed
+    while block.id not in trace_boundaries or block is seed:
+        prv = dominant_in_edge(block)
+        if prv is None or prv.id in on_path:
+            break
+        path.insert(0, prv)
+        on_path.add(prv.id)
+        block = prv
+        if block.id in trace_boundaries:
+            break
+    return path
+
+
+def block_has_call(block: Block) -> bool:
+    """True when the block performs a (non-inlined) call."""
+    return any(op.kind in (Kind.CALL, Kind.VCALL) for op in block.ops)
+
+
+def has_call_on_warm_path(
+    start: Block,
+    allowed: set[int],
+    cold_edge,
+) -> bool:
+    """Paper's HASCALLONWARMPATH: is a call reachable from ``start`` along
+    non-cold edges, staying within the ``allowed`` block-id set?
+
+    ``cold_edge(block, succ_index)`` is the cold-edge predicate (profile
+    bias below the 1% threshold).
+    """
+    seen = {start.id}
+    stack = [start]
+    while stack:
+        block = stack.pop()
+        if block_has_call(block):
+            return True
+        for index, succ in enumerate(block.succs):
+            if succ.id not in allowed or succ.id in seen:
+                continue
+            if cold_edge(block, index):
+                continue
+            seen.add(succ.id)
+            stack.append(succ)
+    return False

@@ -1,0 +1,44 @@
+"""Experiment harness: drivers and renderers for every table and figure."""
+
+from .experiment import (
+    RunResult,
+    SampleResult,
+    clear_cache,
+    run_workload,
+    verify_workload_correctness,
+)
+from .figures import (
+    BENCH_ORDER,
+    FigureData,
+    all_figures,
+    figure7,
+    figure8,
+    figure9,
+    section62,
+    section63,
+    section7_adaptive,
+    table2,
+    table3,
+)
+from .report import render, render_all
+
+__all__ = [
+    "BENCH_ORDER",
+    "FigureData",
+    "RunResult",
+    "SampleResult",
+    "all_figures",
+    "clear_cache",
+    "figure7",
+    "figure8",
+    "figure9",
+    "render",
+    "render_all",
+    "run_workload",
+    "section62",
+    "section63",
+    "section7_adaptive",
+    "table2",
+    "table3",
+    "verify_workload_correctness",
+]

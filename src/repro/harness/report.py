@@ -1,0 +1,34 @@
+"""Plain-text rendering of figure/table data."""
+
+from __future__ import annotations
+
+from .figures import FigureData
+
+
+def render(data: FigureData, width: int = 10) -> str:
+    """Render one figure as an aligned text table."""
+    lines = [data.title, "-" * len(data.title)]
+    header = f"{'bench':10s}" + "".join(
+        f"{col:>{max(width, len(col) + 2)}s}" for col in data.columns
+    )
+    lines.append(header)
+    for bench, values in data.rows.items():
+        cells = "".join(
+            f"{value:>{max(width, len(col) + 2)}.2f}"
+            for value, col in zip(values, data.columns)
+        )
+        lines.append(f"{bench:10s}" + cells)
+    averages = data.averages()
+    if averages and len(data.rows) > 1:
+        cells = "".join(
+            f"{value:>{max(width, len(col) + 2)}.2f}"
+            for value, col in zip(averages, data.columns)
+        )
+        lines.append(f"{'average':10s}" + cells)
+    for note in data.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_all(figures: list[FigureData]) -> str:
+    return "\n\n".join(render(f) for f in figures)

@@ -1,0 +1,43 @@
+"""Simulated hardware: ISA, codegen, checkpoint machine, caches, timing."""
+
+from .branchpred import CombiningPredictor
+from .cache import CacheLevel, MemoryHierarchy
+from .codegen import CodeGenerator, generate_code, lower_phis, split_critical_edges
+from .config import (
+    BASELINE_4WIDE,
+    CHKPT_20CYCLE,
+    CHKPT_SINGLE_INFLIGHT,
+    CacheConfig,
+    HardwareConfig,
+    OOO_2WIDE,
+    OOO_2WIDE_HALF,
+)
+from .isa import CompiledMethod, MInstr, MOp
+from .machine import Machine
+from .stats import ExecStats, RegionExecution
+from .timing import INTERPRETER_CYCLES_PER_BYTECODE, TimingModel
+
+__all__ = [
+    "BASELINE_4WIDE",
+    "CHKPT_20CYCLE",
+    "CHKPT_SINGLE_INFLIGHT",
+    "CacheConfig",
+    "CacheLevel",
+    "CodeGenerator",
+    "CombiningPredictor",
+    "CompiledMethod",
+    "ExecStats",
+    "HardwareConfig",
+    "INTERPRETER_CYCLES_PER_BYTECODE",
+    "MInstr",
+    "MOp",
+    "Machine",
+    "MemoryHierarchy",
+    "OOO_2WIDE",
+    "OOO_2WIDE_HALF",
+    "RegionExecution",
+    "TimingModel",
+    "generate_code",
+    "lower_phis",
+    "split_critical_edges",
+]

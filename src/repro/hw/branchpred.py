@@ -1,0 +1,72 @@
+"""Combining branch predictor: 64K-entry gshare + 16K-entry bimodal (Table 1)."""
+
+from __future__ import annotations
+
+from array import array
+
+
+class _Counters:
+    """A table of 2-bit saturating counters."""
+
+    __slots__ = ("table", "mask")
+
+    def __init__(self, entries: int, init: int = 1) -> None:
+        self.table = array("b", [init]) * entries
+        self.mask = entries - 1
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self.mask
+        value = self.table[i]
+        if taken:
+            if value < 3:
+                self.table[i] = value + 1
+        else:
+            if value > 0:
+                self.table[i] = value - 1
+
+
+class CombiningPredictor:
+    """gshare/bimodal tournament predictor with a per-pc chooser."""
+
+    def __init__(self, gshare_entries: int = 64 * 1024,
+                 bimodal_entries: int = 16 * 1024) -> None:
+        self.gshare = _Counters(gshare_entries)
+        self.bimodal = _Counters(bimodal_entries)
+        self.chooser = _Counters(bimodal_entries)  # >=2 selects gshare
+        self.history = 0
+        self.history_mask = gshare_entries - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at ``pc``; train with the actual ``taken``.
+
+        Returns True when the prediction was correct.
+        """
+        g_index = (pc ^ self.history) & self.history_mask
+        g_pred = self.gshare.predict(g_index)
+        b_pred = self.bimodal.predict(pc)
+        use_gshare = self.chooser.predict(pc)
+        prediction = g_pred if use_gshare else b_pred
+
+        self.predictions += 1
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+
+        # Train components and the chooser (only when they disagree).
+        self.gshare.update(g_index, taken)
+        self.bimodal.update(pc, taken)
+        if g_pred != b_pred:
+            self.chooser.update(pc, g_pred == taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.history_mask
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,82 @@
+"""Two-level data-cache model with LRU replacement.
+
+Produces access latencies for the timing model and hit/miss statistics.
+The atomic-region read/write sets (the per-line speculative R/W bits of
+§3.3) are tracked by the machine's region state and checked against the L1
+capacity (best-effort overflow aborts); this module is the latency/locality
+model.
+"""
+
+from __future__ import annotations
+
+from .config import CacheConfig, HardwareConfig
+
+
+class CacheLevel:
+    """One set-associative cache level, true-LRU."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.set_mask = config.num_sets - 1
+        #: per-set list of tags, most-recently-used last.
+        self.sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch the line holding ``address``; True on hit."""
+        line = address >> self.line_shift
+        index = line & self.set_mask
+        ways = self.sets[index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(line)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    def contains(self, address: int) -> bool:
+        line = address >> self.line_shift
+        return line in self.sets[line & self.set_mask]
+
+    def invalidate(self, address: int) -> None:
+        line = address >> self.line_shift
+        ways = self.sets[line & self.set_mask]
+        if line in ways:
+            ways.remove(line)
+
+
+class MemoryHierarchy:
+    """L1 + L2 + memory; returns load-to-use latency per access."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+        self.l1 = CacheLevel(config.l1_config)
+        self.l2 = CacheLevel(config.l2_config)
+        self.accesses = 0
+
+    def access(self, address: int) -> int:
+        """Access ``address``; returns the latency in cycles."""
+        self.accesses += 1
+        if self.l1.access(address):
+            return self.config.l1_config.hit_cycles
+        if self.l2.access(address):
+            return self.config.l1_config.hit_cycles + self.config.l2_config.hit_cycles
+        return (
+            self.config.l1_config.hit_cycles
+            + self.config.l2_config.hit_cycles
+            + self.config.memory_latency_cycles
+        )
+
+    def line_of(self, address: int) -> int:
+        return address >> self.l1.line_shift
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1.hits + self.l1.misses
+        return self.l1.misses / total if total else 0.0

@@ -1,0 +1,86 @@
+"""Hardware configurations (the paper's Table 1 and §6.3 variants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_cycles: int = 4
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Processor parameters.  Defaults reproduce Table 1 of the paper."""
+
+    name: str = "4wide"
+    frequency_ghz: float = 4.0
+    fetch_width: int = 4
+    issue_width: int = 4
+    retire_width: int = 4
+    branch_mispredict_penalty: int = 20
+    instruction_window: int = 128
+    scheduling_window: int = 64
+    load_buffer: int = 60
+    store_buffer: int = 40
+    gshare_entries: int = 64 * 1024
+    bimodal_entries: int = 16 * 1024
+    l1_config: CacheConfig = CacheConfig(32 * 1024, 4, 64, 4)
+    l2_config: CacheConfig = CacheConfig(4 * 1024 * 1024, 8, 64, 20)
+    memory_latency_cycles: int = 400  # 100 ns at 4 GHz
+
+    # -- atomic-region implementation knobs (paper Figure 9) ----------------
+    #: cycles the pipeline stalls at every aregion_begin ("+ 20-cycle"
+    #: configuration); 0 for the checkpoint substrate.
+    aregion_begin_stall: int = 0
+    #: if True, an aregion_begin stalls at decode until every preceding
+    #: atomic region has committed ("single-inflight" configuration).
+    single_inflight_regions: bool = False
+    #: best-effort capacity: a region whose read+write set exceeds this many
+    #: L1 lines aborts with reason "overflow".
+    region_line_limit: int = 448  # ~ 7/8 of a 512-line L1
+
+    def scaled(self, **changes) -> "HardwareConfig":
+        return replace(self, **changes)
+
+
+#: Table 1 baseline: aggressive 4-wide OOO with checkpoint substrate.
+BASELINE_4WIDE = HardwareConfig()
+
+#: §6.3: "a 2-wide OOO version of the baseline machine (widths reduced to 2/2/2)".
+OOO_2WIDE = BASELINE_4WIDE.scaled(
+    name="2wide", fetch_width=2, issue_width=2, retire_width=2,
+)
+
+#: §6.3: "a 2-wide half OOO configuration that halves the superscalar width
+#: and all other processor structures (including caches and TLBs)".
+OOO_2WIDE_HALF = BASELINE_4WIDE.scaled(
+    name="2wide-half",
+    fetch_width=2, issue_width=2, retire_width=2,
+    instruction_window=64, scheduling_window=32,
+    load_buffer=30, store_buffer=20,
+    gshare_entries=32 * 1024, bimodal_entries=8 * 1024,
+    l1_config=CacheConfig(16 * 1024, 4, 64, 4),
+    l2_config=CacheConfig(2 * 1024 * 1024, 8, 64, 20),
+    region_line_limit=224,
+)
+
+#: Figure 9: checkpoint substrate with a 20-cycle aregion_begin stall.
+CHKPT_20CYCLE = BASELINE_4WIDE.scaled(name="4wide+20cyc", aregion_begin_stall=20)
+
+#: Figure 9: only one atomic region in flight at a time.
+CHKPT_SINGLE_INFLIGHT = BASELINE_4WIDE.scaled(
+    name="4wide-single-inflight", single_inflight_regions=True,
+)

@@ -1,0 +1,503 @@
+"""Functional machine simulator with checkpoint-based atomic regions.
+
+Implements §3 of the paper: ``aregion_begin`` takes a register checkpoint
+and starts buffering stores and tracking the read/write sets; asserts and
+hardware conditions (footprint overflow of the best-effort L1 bound,
+injected interrupts, injected coherence conflicts, faults) abort the region
+— discarding buffered stores, restoring registers, and transferring control
+to the alternate PC; ``aregion_end`` commits the buffered stores "at an
+instant".  Two architectural registers expose the abort reason and the
+aborting instruction's PC to the runtime (here: fields consumed by the
+adaptive controller).
+
+Timing is delegated to an optional :class:`repro.hw.timing.TimingModel`
+via a per-retired-uop callback; without one the machine runs functionally
+(used by fast tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..runtime.errors import (
+    BoundsError,
+    GuestArithmeticError,
+    GuestError,
+    NullPointerError,
+    VMError,
+)
+from ..runtime.heap import GuestArray, GuestObject, Heap, Value
+from ..runtime.interpreter import compare, guest_div, guest_mod, wrap_int
+from ..runtime.locks import MAIN_THREAD
+from .config import BASELINE_4WIDE, HardwareConfig
+from .isa import CompiledMethod, MInstr, MOp
+from .stats import ExecStats, RegionExecution
+
+#: base simulated address for compiled code (pc = code base + index).
+CODE_BASE = 0x40_0000
+#: simulated address region for spill frames.
+SPILL_BASE = 0x2000_0000
+
+
+@dataclass
+class _RegionState:
+    """Live state of an in-flight atomic region."""
+
+    region_id: int
+    alt_pc: int
+    checkpoint_regs: list
+    checkpoint_spill: list
+    record: RegionExecution
+    store_buffer: dict = field(default_factory=dict)   # key -> (target, slot, value)
+    read_lines: set = field(default_factory=set)
+    write_lines: set = field(default_factory=set)
+    lock_log: list = field(default_factory=list)
+    conflict_at: int | None = None                     # uop offset to inject conflict
+    uops: int = 0
+
+
+def _machine_compare(cond: str, a: Value, b: Value) -> bool:
+    if cond == "uge":
+        # Unsigned bounds comparison: negative indexes wrap to huge values.
+        ua = a & 0xFFFFFFFFFFFFFFFF
+        ub = b & 0xFFFFFFFFFFFFFFFF
+        return ua >= ub
+    if b is None and cond in ("eq", "ne", "gt", "lt", "ge", "le"):
+        # Compare against zero / null.
+        if isinstance(a, int):
+            b = 0
+    return compare(cond, a, b)
+
+
+class Machine:
+    """Executes compiled methods against the shared guest heap."""
+
+    def __init__(
+        self,
+        program,
+        heap: Heap,
+        config: HardwareConfig = BASELINE_4WIDE,
+        stats: ExecStats | None = None,
+        timing=None,
+        dispatcher=None,
+        conflict_injector: Callable[[RegionExecution], int | None] | None = None,
+        interrupt_interval: int | None = None,
+    ) -> None:
+        self.program = program
+        self.heap = heap
+        self.config = config
+        self.stats = stats if stats is not None else ExecStats()
+        self.timing = timing
+        self.dispatcher = dispatcher
+        self.conflict_injector = conflict_injector
+        self.interrupt_interval = interrupt_interval
+        self._code_bases: dict[int, int] = {}
+        self._next_code_base = CODE_BASE
+        self._next_spill_base = SPILL_BASE
+        #: architectural abort-diagnosis registers (paper §3.2).
+        self.abort_reason_register: str | None = None
+        self.abort_pc_register: int | None = None
+        #: global uop counter (drives interrupt injection).
+        self.uops_executed = 0
+
+    # -- public ------------------------------------------------------------
+    def execute(self, compiled: CompiledMethod, args: list[Value]) -> Value:
+        if len(args) != compiled.num_params:
+            raise VMError(
+                f"{compiled.name}: expected {compiled.num_params} args, "
+                f"got {len(args)}"
+            )
+        code_base = self._code_base(compiled)
+        spill_base = self._next_spill_base
+        self._next_spill_base += 0x10000
+
+        regs: list[Value] = [0] * compiled.num_regs
+        spill: list[Value] = [0] * max(compiled.num_spill_slots, 1)
+        for value, loc in zip(args, compiled.param_locations):
+            kind, index = loc
+            if kind == "r":
+                regs[index] = value
+            else:
+                spill[index] = value
+
+        instrs = compiled.instrs
+        pc = 0
+        region: _RegionState | None = None
+        stats = self.stats
+        timing = self.timing
+
+        while True:
+            instr = instrs[pc]
+            op = instr.op
+            self.uops_executed += 1
+            stats.uops_retired += 1
+            if region is not None:
+                region.uops += 1
+                region.record.uops += 1
+            mem_address = None
+            branch_taken: bool | None = None
+
+            try:
+                if op is MOp.CONST:
+                    regs[instr.dst] = instr.imm
+                elif op is MOp.CONST_NULL:
+                    regs[instr.dst] = None
+                elif op is MOp.CONST_CLASS:
+                    regs[instr.dst] = instr.cls
+                elif op is MOp.MOV:
+                    regs[instr.dst] = regs[instr.a]
+                elif op is MOp.ADD:
+                    regs[instr.dst] = wrap_int(regs[instr.a] + regs[instr.b])
+                elif op is MOp.SUB:
+                    regs[instr.dst] = wrap_int(regs[instr.a] - regs[instr.b])
+                elif op is MOp.MUL:
+                    regs[instr.dst] = wrap_int(regs[instr.a] * regs[instr.b])
+                elif op is MOp.DIV:
+                    regs[instr.dst] = guest_div(regs[instr.a], regs[instr.b])
+                elif op is MOp.MOD:
+                    regs[instr.dst] = guest_mod(regs[instr.a], regs[instr.b])
+                elif op is MOp.AND:
+                    regs[instr.dst] = wrap_int(regs[instr.a] & regs[instr.b])
+                elif op is MOp.OR:
+                    regs[instr.dst] = wrap_int(regs[instr.a] | regs[instr.b])
+                elif op is MOp.XOR:
+                    regs[instr.dst] = wrap_int(regs[instr.a] ^ regs[instr.b])
+                elif op is MOp.SHL:
+                    regs[instr.dst] = wrap_int(regs[instr.a] << (regs[instr.b] & 63))
+                elif op is MOp.SHR:
+                    regs[instr.dst] = wrap_int(regs[instr.a] >> (regs[instr.b] & 63))
+                elif op is MOp.CLASSOF:
+                    ref = regs[instr.a]
+                    if ref is None:
+                        raise NullPointerError("classof null")
+                    regs[instr.dst] = (
+                        ref.class_name if isinstance(ref, GuestObject) else "[array]"
+                    )
+                    mem_address = ref.base
+                    self._track_read(region, ref.base)
+                elif op is MOp.LOADF:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    slot = obj.field_index[instr.fieldname]
+                    mem_address = obj.base + 16 + slot * 8
+                    self._track_read(region, mem_address)
+                    regs[instr.dst] = self._read_field(region, obj, slot)
+                elif op is MOp.STOREF:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    slot = obj.field_index[instr.fieldname]
+                    mem_address = obj.base + 16 + slot * 8
+                    self._write(region, obj, slot, regs[instr.b], mem_address)
+                    stats.stores += 1
+                elif op is MOp.LOADA:
+                    arr = self._require(regs[instr.a], GuestArray)
+                    index = regs[instr.b]
+                    if not 0 <= index < len(arr.values):
+                        raise BoundsError(index, len(arr.values))
+                    mem_address = arr.element_address(index)
+                    self._track_read(region, mem_address)
+                    regs[instr.dst] = self._read_array(region, arr, index)
+                elif op is MOp.STOREA:
+                    arr = self._require(regs[instr.a], GuestArray)
+                    index = regs[instr.b]
+                    if not 0 <= index < len(arr.values):
+                        raise BoundsError(index, len(arr.values))
+                    mem_address = arr.element_address(index)
+                    self._write(region, arr, index, regs[instr.c], mem_address)
+                    stats.stores += 1
+                elif op is MOp.LOADLEN:
+                    arr = self._require(regs[instr.a], GuestArray)
+                    mem_address = arr.length_address()
+                    self._track_read(region, mem_address)
+                    regs[instr.dst] = arr.length
+                elif op is MOp.LOADLOCK:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    mem_address = obj.lock_address()
+                    self._track_read(region, mem_address)
+                    regs[instr.dst] = 1 if obj.lock.held_by_other(MAIN_THREAD) else 0
+                    stats.monitor_ops += 1
+                elif op is MOp.STORELOCK:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    mem_address = obj.lock_address()
+                    if region is not None:
+                        region.lock_log.append(
+                            (obj.lock, obj.lock.owner, obj.lock.depth,
+                             obj.lock.reserver)
+                        )
+                        region.write_lines.add(mem_address >> 6)
+                    if instr.imm == 1:
+                        obj.lock.enter(MAIN_THREAD)
+                    else:
+                        obj.lock.exit(MAIN_THREAD)
+                    stats.stores += 1
+                elif op is MOp.LOADSPILL:
+                    regs[instr.dst] = spill[instr.imm]
+                    mem_address = spill_base + instr.imm * 8
+                elif op is MOp.STORESPILL:
+                    spill[instr.imm] = regs[instr.a]
+                    mem_address = spill_base + instr.imm * 8
+                    stats.stores += 1
+                elif op is MOp.LOADG:
+                    regs[instr.dst] = 0  # yield flag never set in samples
+                    mem_address = instr.imm
+                elif op is MOp.NEWOBJ:
+                    layout = self.program.field_layout(instr.cls)
+                    regs[instr.dst] = self.heap.new_object(instr.cls, layout)
+                elif op is MOp.NEWARR:
+                    regs[instr.dst] = self.heap.new_array(regs[instr.a])
+                elif op is MOp.BR:
+                    taken = _machine_compare(instr.cond, regs[instr.a],
+                                             regs[instr.b] if instr.b is not None else None)
+                    branch_taken = taken
+                    stats.branches += 1
+                    if timing is not None:
+                        if not timing.branch(code_base + pc, taken):
+                            stats.mispredicts += 1
+                    if taken:
+                        self._tick(instr, mem_address, timing)
+                        pc = instr.target
+                        if region is not None:
+                            reason = self._hw_condition(region)
+                            if reason is not None:
+                                pc = self._do_abort(
+                                    compiled, region, reason,
+                                    code_base + pc, None, regs, spill,
+                                )
+                                region = None
+                        continue
+                elif op is MOp.JMP:
+                    self._tick(instr, mem_address, timing)
+                    pc = instr.target
+                    continue
+                elif op is MOp.BR_TRAP:
+                    failed = _machine_compare(
+                        instr.cond, regs[instr.a],
+                        regs[instr.b] if instr.b is not None else None,
+                    )
+                    branch_taken = failed
+                    stats.branches += 1
+                    if timing is not None:
+                        if not timing.branch(code_base + pc, failed):
+                            stats.mispredicts += 1
+                    if failed:
+                        raise _trap_error(instr)
+                elif op is MOp.BR_ABORT:
+                    fired = _machine_compare(
+                        instr.cond, regs[instr.a],
+                        regs[instr.b] if instr.b is not None else None,
+                    )
+                    branch_taken = fired
+                    stats.branches += 1
+                    if timing is not None:
+                        if not timing.branch(code_base + pc, fired):
+                            stats.mispredicts += 1
+                    if fired:
+                        self._tick(instr, mem_address, timing)
+                        pc = instr.target
+                        continue
+                elif op is MOp.AREGION_BEGIN:
+                    if region is not None:
+                        raise VMError("nested aregion_begin")
+                    region = self._begin_region(compiled, instr, regs, spill)
+                    if timing is not None:
+                        timing.region_begin()
+                elif op is MOp.AREGION_END:
+                    if region is None:
+                        raise VMError("aregion_end outside a region")
+                    self._commit(region)
+                    if timing is not None:
+                        timing.region_end()
+                    region = None
+                elif op is MOp.AREGION_ABORT:
+                    if region is None:
+                        raise VMError("aregion_abort outside a region")
+                    reason = instr.cls or "assert"
+                    self._tick(instr, mem_address, timing)
+                    pc = self._do_abort(
+                        compiled, region, reason, code_base + pc,
+                        instr.abort_id, regs, spill,
+                    )
+                    region = None
+                    continue
+                elif op is MOp.CALLVM or op is MOp.VCALLVM:
+                    if region is not None:
+                        raise VMError("call inside an atomic region")
+                    if self.dispatcher is None:
+                        raise VMError("machine has no call dispatcher")
+                    call_args = [
+                        regs[r] if r >= 0 else spill[-r - 1] for r in instr.args
+                    ]
+                    if op is MOp.CALLVM:
+                        callee = self.program.resolve_static(instr.method)
+                    else:
+                        receiver = call_args[0]
+                        if receiver is None:
+                            raise NullPointerError("virtual call on null")
+                        callee = self.program.resolve_virtual(
+                            receiver.class_name, instr.method
+                        )
+                    if timing is not None:
+                        timing.call_boundary()
+                    regs[instr.dst] = self.dispatcher.invoke(callee, call_args)
+                elif op is MOp.RET:
+                    if region is not None:
+                        raise VMError("return inside an atomic region")
+                    self._tick(instr, mem_address, timing)
+                    return regs[instr.a] if instr.a is not None else None
+                else:  # pragma: no cover - exhaustive
+                    raise VMError(f"unhandled machine op {op}")
+            except GuestError:
+                if region is None:
+                    raise
+                # Hardware fault inside a region: abort; the recovery path
+                # re-executes non-speculatively and re-raises precisely.
+                pc = self._do_abort(
+                    compiled, region, "exception", code_base + pc, None,
+                    regs, spill,
+                )
+                region = None
+                continue
+
+            self._tick(instr, mem_address, timing)
+            pc += 1
+            if region is not None:
+                reason = self._hw_condition(region)
+                if reason is not None:
+                    pc = self._do_abort(
+                        compiled, region, reason, code_base + pc, None,
+                        regs, spill,
+                    )
+                    region = None
+
+    # -- helpers -------------------------------------------------------------
+    def _code_base(self, compiled: CompiledMethod) -> int:
+        base = self._code_bases.get(id(compiled))
+        if base is None:
+            base = self._code_bases[id(compiled)] = self._next_code_base
+            self._next_code_base += max(len(compiled.instrs), 64) * 4
+        return base
+
+    def _require(self, value, kind):
+        if value is None:
+            raise NullPointerError("null dereference")
+        if not isinstance(value, kind):
+            raise VMError(f"expected {kind.__name__}, got {type(value).__name__}")
+        return value
+
+    def _tick(self, instr: MInstr, mem_address: int | None, timing) -> None:
+        if timing is not None:
+            timing.uop(instr, mem_address)
+        if mem_address is not None and instr.op in (
+            MOp.LOADF, MOp.LOADA, MOp.LOADLEN, MOp.LOADLOCK, MOp.LOADSPILL,
+            MOp.LOADG, MOp.CLASSOF,
+        ):
+            self.stats.loads += 1
+
+    # -- region mechanics ---------------------------------------------------
+    def _begin_region(self, compiled, instr, regs, spill) -> _RegionState:
+        record = RegionExecution(region_key=(compiled.name, instr.imm))
+        region = _RegionState(
+            region_id=instr.imm,
+            alt_pc=instr.target,
+            checkpoint_regs=list(regs),
+            checkpoint_spill=list(spill),
+            record=record,
+        )
+        if self.conflict_injector is not None:
+            region.conflict_at = self.conflict_injector(record)
+        return region
+
+    def _track_read(self, region: _RegionState | None, address: int) -> None:
+        if region is not None:
+            region.read_lines.add(address >> 6)
+
+    def _read_field(self, region, obj, slot):
+        if region is not None:
+            key = (id(obj), "f", slot)
+            if key in region.store_buffer:
+                return region.store_buffer[key][2]
+        return obj.slots[slot]
+
+    def _read_array(self, region, arr, index):
+        if region is not None:
+            key = (id(arr), "a", index)
+            if key in region.store_buffer:
+                return region.store_buffer[key][2]
+        return arr.values[index]
+
+    def _write(self, region, target, slot, value, address) -> None:
+        if region is None:
+            if isinstance(target, GuestObject):
+                target.slots[slot] = value
+            else:
+                target.values[slot] = value
+            return
+        kind = "f" if isinstance(target, GuestObject) else "a"
+        region.store_buffer[(id(target), kind, slot)] = (target, slot, value)
+        region.write_lines.add(address >> 6)
+
+    def _commit(self, region: _RegionState) -> None:
+        for target, slot, value in region.store_buffer.values():
+            if isinstance(target, GuestObject):
+                target.slots[slot] = value
+            else:
+                target.values[slot] = value
+        record = region.record
+        record.committed = True
+        record.lines_read = len(region.read_lines)
+        record.lines_written = len(region.write_lines)
+        self.stats.note_region(record)
+
+    def _hw_condition(self, region: _RegionState) -> str | None:
+        """Best-effort hardware abort conditions, checked at retirement."""
+        if (len(region.read_lines) + len(region.write_lines)
+                > self.config.region_line_limit):
+            return "overflow"
+        if (self.interrupt_interval is not None
+                and self.uops_executed % self.interrupt_interval == 0):
+            return "interrupt"
+        if region.conflict_at is not None and region.uops >= region.conflict_at:
+            return "conflict"
+        return None
+
+    def _do_abort(
+        self,
+        compiled: CompiledMethod,
+        region: _RegionState,
+        reason: str,
+        abort_pc: int,
+        abort_id: int | None,
+        regs: list,
+        spill: list,
+    ) -> int:
+        """Roll the region back; returns the alternate (recovery) PC."""
+        record = region.record
+        record.committed = False
+        record.abort_reason = reason
+        record.abort_pc = abort_pc
+        self.stats.note_region(record)
+        if abort_id is not None:
+            self.stats.abort_sites[
+                (compiled.name, region.region_id, abort_id)
+            ] += 1
+        for lock, owner, depth, reserver in reversed(region.lock_log):
+            lock.owner = owner
+            lock.depth = depth
+            lock.reserver = reserver
+        regs[:] = region.checkpoint_regs
+        spill[:] = region.checkpoint_spill
+        self.abort_reason_register = reason
+        self.abort_pc_register = abort_pc
+        if self.timing is not None:
+            self.timing.region_abort()
+        return region.alt_pc
+
+
+def _trap_error(instr: MInstr) -> GuestError:
+    kind = instr.fieldname or "trap"
+    if kind == "null":
+        return NullPointerError("null check failed")
+    if kind == "bounds":
+        return BoundsError(-1, -1)
+    if kind == "div0":
+        return GuestArithmeticError("division by zero")
+    return GuestError(kind)

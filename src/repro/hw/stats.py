@@ -1,0 +1,117 @@
+"""Execution statistics: uops, cycles, regions, aborts, footprints.
+
+These counters back every table and figure in the evaluation:
+
+- Figure 7: ``cycles`` ratios between compiler configurations;
+- Figure 8: ``uops_retired`` reduction;
+- Table 3: region ``coverage``, unique regions, sizes, abort rates;
+- §6.2: region size and cache-footprint distributions;
+- Figure 9: cycles under degraded ``aregion_begin`` implementations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegionExecution:
+    """Statistics for one dynamic atomic-region execution."""
+
+    region_key: tuple  # (method name, region id)
+    uops: int = 0
+    lines_read: int = 0
+    lines_written: int = 0
+    committed: bool = False
+    abort_reason: str | None = None
+    abort_pc: int | None = None
+
+
+@dataclass
+class ExecStats:
+    """Aggregated over one measured execution sample."""
+
+    uops_retired: int = 0
+    uops_in_regions: int = 0
+    interpreter_bytecodes: int = 0
+    cycles: float = 0.0
+
+    regions_entered: int = 0
+    regions_committed: int = 0
+    regions_aborted: int = 0
+    abort_reasons: Counter = field(default_factory=Counter)
+    #: (method, region id, abort_id) -> count, for adaptive recompilation.
+    abort_sites: Counter = field(default_factory=Counter)
+    unique_regions: set = field(default_factory=set)
+
+    region_sizes: list[int] = field(default_factory=list)
+    region_lines: list[int] = field(default_factory=list)
+
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    monitor_ops: int = 0
+    sle_elisions: int = 0
+
+    def note_region(self, record: RegionExecution) -> None:
+        self.regions_entered += 1
+        self.unique_regions.add(record.region_key)
+        if record.committed:
+            self.regions_committed += 1
+            self.region_sizes.append(record.uops)
+            self.region_lines.append(record.lines_read + record.lines_written)
+            self.uops_in_regions += record.uops
+        else:
+            self.regions_aborted += 1
+            self.abort_reasons[record.abort_reason] += 1
+
+    # -- derived metrics ------------------------------------------------------
+    @property
+    def coverage(self) -> float:
+        """Fraction of retired uops executed inside committed regions."""
+        if self.uops_retired == 0:
+            return 0.0
+        return self.uops_in_regions / self.uops_retired
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts per region entry (Table 3 'abort %')."""
+        if self.regions_entered == 0:
+            return 0.0
+        return self.regions_aborted / self.regions_entered
+
+    @property
+    def aborts_per_kuop(self) -> float:
+        if self.uops_retired == 0:
+            return 0.0
+        return 1000.0 * self.regions_aborted / self.uops_retired
+
+    @property
+    def mean_region_size(self) -> float:
+        if not self.region_sizes:
+            return 0.0
+        return sum(self.region_sizes) / len(self.region_sizes)
+
+    def region_line_quantile(self, q: float) -> int:
+        if not self.region_lines:
+            return 0
+        ordered = sorted(self.region_lines)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "uops": self.uops_retired,
+            "cycles": self.cycles,
+            "coverage": round(self.coverage, 4),
+            "regions": self.regions_entered,
+            "unique_regions": len(self.unique_regions),
+            "mean_region_size": round(self.mean_region_size, 1),
+            "abort_rate": round(self.abort_rate, 5),
+            "aborts_per_kuop": round(self.aborts_per_kuop, 5),
+            "mispredict_rate": (
+                round(self.mispredicts / self.branches, 5) if self.branches else 0.0
+            ),
+        }

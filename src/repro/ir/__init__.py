@@ -1,0 +1,53 @@
+"""Compiler IR: SSA CFG, analyses, builder, verifier, printer, executor."""
+
+from .build import build_ir
+from .cfg import Block, Graph
+from .dom import DomTree, dominance_frontiers, dominator_tree, postdominator_tree
+from .interp import AbortRecord, IRExecutor
+from .loops import Loop, LoopForest, find_loops, loop_path_length, loop_weight
+from .ops import (
+    ARITH_KINDS,
+    CHECK_KINDS,
+    COMMUTATIVE_KINDS,
+    EFFECT_KINDS,
+    Kind,
+    LOAD_KINDS,
+    Node,
+    PURE_KINDS,
+    TERMINATOR_KINDS,
+    VALUE_KINDS,
+)
+from .printer import format_block, format_graph, format_node
+from .verify import IRVerifyError, verify_graph
+
+__all__ = [
+    "ARITH_KINDS",
+    "AbortRecord",
+    "Block",
+    "CHECK_KINDS",
+    "COMMUTATIVE_KINDS",
+    "DomTree",
+    "EFFECT_KINDS",
+    "Graph",
+    "IRExecutor",
+    "IRVerifyError",
+    "Kind",
+    "LOAD_KINDS",
+    "Loop",
+    "LoopForest",
+    "Node",
+    "PURE_KINDS",
+    "TERMINATOR_KINDS",
+    "VALUE_KINDS",
+    "build_ir",
+    "dominance_frontiers",
+    "dominator_tree",
+    "find_loops",
+    "format_block",
+    "format_graph",
+    "format_node",
+    "loop_path_length",
+    "loop_weight",
+    "postdominator_tree",
+    "verify_graph",
+]

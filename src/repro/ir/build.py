@@ -1,0 +1,313 @@
+"""Bytecode → SSA IR translation.
+
+Mirrors the front end of the paper's optimizing JIT: it expands the safety
+checks implicit in heap bytecodes into explicit ``CHECK_*`` IR operations
+("check_NULL(cached)" / "check_bounds(c_length, i)" in the paper's Figure
+2/3 notation), attaches the tier-0 profile to blocks and branch edges, and
+constructs SSA form via iterated dominance frontiers.
+
+Every IR node keeps its originating ``bytecode_pc`` so that region
+boundaries, abort diagnostics, and call-site profiles can be mapped back to
+the program.
+"""
+
+from __future__ import annotations
+
+from ..lang.bytecode import Instr, Method, Op
+from ..runtime.interpreter import block_leaders
+from ..runtime.profile import MethodProfile
+from .cfg import Block, Graph
+from .dom import dominance_frontiers, dominator_tree
+from .ops import Kind, Node
+
+_BINOP_KINDS = {
+    Op.ADD: Kind.ADD, Op.SUB: Kind.SUB, Op.MUL: Kind.MUL, Op.DIV: Kind.DIV,
+    Op.MOD: Kind.MOD, Op.AND: Kind.AND, Op.OR: Kind.OR, Op.XOR: Kind.XOR,
+    Op.SHL: Kind.SHL, Op.SHR: Kind.SHR,
+}
+
+
+def build_ir(method: Method, profile: MethodProfile | None = None) -> Graph:
+    """Translate ``method`` into a fresh SSA graph.
+
+    ``profile`` supplies block counts and branch biases; without it the
+    graph is still correct but region formation will see zero counts.
+    """
+    builder = _IRBuilder(method, profile)
+    return builder.build()
+
+
+class _IRBuilder:
+    def __init__(self, method: Method, profile: MethodProfile | None) -> None:
+        self.method = method
+        self.profile = profile
+        self.graph = Graph(method.qualified_name, num_params=method.num_params)
+        self.block_of_pc: dict[int, Block] = {}
+        self.leaders: list[int] = []
+        self.num_regs = max(method.num_regs, method.num_params)
+
+    # -- pipeline -----------------------------------------------------------
+    def build(self) -> Graph:
+        self._make_blocks()
+        self._wire_edges()
+        self._insert_phis()
+        self._rename()
+        self.graph.prune_unreachable()
+        return self.graph
+
+    # -- step 1: skeleton -----------------------------------------------------
+    def _make_blocks(self) -> None:
+        leaders = sorted(block_leaders(self.method))
+        self.leaders = leaders
+        for pc in leaders:
+            block = self.graph.new_block(src_pc=pc)
+            if self.profile is not None:
+                block.count = float(self.profile.block_counts.get(pc, 0))
+            self.block_of_pc[pc] = block
+        entry = self.graph.new_block(src_pc=None)
+        if self.profile is not None:
+            entry.count = float(self.profile.invocations)
+        self.graph.entry = entry
+
+    def _block_range(self, leader: int) -> tuple[int, int]:
+        """Instruction span [start, end) of the block starting at ``leader``."""
+        idx = self.leaders.index(leader)
+        end = (
+            self.leaders[idx + 1]
+            if idx + 1 < len(self.leaders)
+            else len(self.method.instrs)
+        )
+        return leader, end
+
+    def _wire_edges(self) -> None:
+        graph = self.graph
+        # Entry block: PARAM nodes then a jump to pc 0.
+        entry = graph.entry
+        assert entry is not None
+        for index in range(self.method.num_params):
+            entry.append(Node(Kind.PARAM, index=index))
+        graph.set_terminator(entry, Node(Kind.JUMP), [self.block_of_pc[0]])
+
+        for leader in self.leaders:
+            block = self.block_of_pc[leader]
+            start, end = self._block_range(leader)
+            last = self.method.instrs[end - 1]
+            last_pc = end - 1
+            if last.op is Op.BR:
+                term = Node(Kind.BRANCH, cond=last.cond, bytecode_pc=last_pc)
+                taken = self.block_of_pc[last.target]
+                fall = self.block_of_pc[end]
+                if self.profile is not None and last_pc in self.profile.branches:
+                    bprof = self.profile.branches[last_pc]
+                    term.attrs["edge_counts"] = (
+                        float(bprof.taken),
+                        float(bprof.not_taken),
+                    )
+                graph.set_terminator(block, term, [taken, fall])
+            elif last.op is Op.JMP:
+                graph.set_terminator(
+                    block, Node(Kind.JUMP, bytecode_pc=last_pc),
+                    [self.block_of_pc[last.target]],
+                )
+            elif last.op is Op.RET:
+                graph.set_terminator(
+                    block, Node(Kind.RETURN, bytecode_pc=last_pc), []
+                )
+            else:
+                # Fallthrough into the next leader.
+                graph.set_terminator(
+                    block, Node(Kind.JUMP, bytecode_pc=last_pc),
+                    [self.block_of_pc[end]],
+                )
+
+    # -- step 2: phi insertion ---------------------------------------------
+    def _defs_in_block(self, leader: int) -> set[int]:
+        start, end = self._block_range(leader)
+        defs: set[int] = set()
+        from ..lang.bytecode import PRODUCES
+
+        for instr in self.method.instrs[start:end]:
+            if instr.op in PRODUCES and instr.dst is not None:
+                defs.add(instr.dst)
+        return defs
+
+    def _insert_phis(self) -> None:
+        graph = self.graph
+        tree = dominator_tree(graph)
+        frontiers = dominance_frontiers(graph, tree)
+        reachable = {b.id for b in tree.order}
+
+        def_blocks: dict[int, set[Block]] = {r: set() for r in range(self.num_regs)}
+        for leader in self.leaders:
+            block = self.block_of_pc[leader]
+            if block.id not in reachable:
+                continue
+            for reg in self._defs_in_block(leader):
+                def_blocks[reg].add(block)
+        entry = graph.entry
+        assert entry is not None
+        for index in range(self.method.num_params):
+            def_blocks[index].add(entry)
+
+        self.phi_reg: dict[int, int] = {}  # phi node id -> register
+        for reg, blocks in def_blocks.items():
+            worklist = list(blocks)
+            placed: set[int] = set()
+            while worklist:
+                block = worklist.pop()
+                for target in frontiers.get(block.id, ()):  # join points
+                    if target.id in placed:
+                        continue
+                    placed.add(target.id)
+                    phi = Node(Kind.PHI)
+                    phi.operands = [None] * len(target.preds)  # type: ignore[list-item]
+                    target.phis.append(phi)
+                    phi.block = target
+                    self.phi_reg[phi.id] = reg
+                    if target not in blocks:
+                        worklist.append(target)
+
+    # -- step 3: renaming -------------------------------------------------------
+    def _rename(self) -> None:
+        graph = self.graph
+        tree = dominator_tree(graph)
+        entry = graph.entry
+        assert entry is not None
+
+        undef = Node(Kind.CONST, imm=0)
+        entry.insert_op(0, undef)
+        self._undef = undef
+
+        out_maps: dict[int, dict[int, Node]] = {}
+
+        for block in tree.walk_preorder():
+            parent = tree.idom.get(block.id)
+            if block is entry:
+                env: dict[int, Node] = {}
+                for node in list(block.ops):
+                    if node.kind is Kind.PARAM:
+                        env[node.attrs["index"]] = node
+            else:
+                assert parent is not None
+                env = dict(out_maps[parent.id])
+            for phi in block.phis:
+                env[self.phi_reg[phi.id]] = phi
+            if block.src_pc is not None:
+                self._translate_block(block, env)
+            out_maps[block.id] = env
+            # Feed phi operands of successors along each out-edge.
+            for succ in block.succs:
+                for pos, (pred, idx) in enumerate(succ.preds):
+                    if pred is not block:
+                        continue
+                    for phi in succ.phis:
+                        if phi.operands[pos] is None:
+                            reg = self.phi_reg[phi.id]
+                            phi.operands[pos] = env.get(reg, self._undef)
+
+        # Any phi operand still None feeds from an unreachable pred edge;
+        # prune_unreachable (called by build) removes those edges, but fill
+        # defensively first.
+        for block in graph.blocks:
+            for phi in block.phis:
+                phi.operands = [
+                    op if op is not None else self._undef for op in phi.operands
+                ]
+
+    # -- instruction translation -----------------------------------------------
+    def _translate_block(self, block: Block, env: dict[int, Node]) -> None:
+        start, end = self._block_range(block.src_pc)
+        graph = self.graph
+
+        def emit(kind: Kind, operands=(), pc: int | None = None, **attrs) -> Node:
+            node = Node(kind, operands, bytecode_pc=pc, **attrs)
+            block.append(node)
+            return node
+
+        def use(reg: int | None) -> Node:
+            if reg is None:
+                raise ValueError("missing operand register")
+            return env.get(reg, self._undef)
+
+        for pc in range(start, end):
+            instr: Instr = self.method.instrs[pc]
+            op = instr.op
+            if op is Op.CONST:
+                env[instr.dst] = emit(Kind.CONST, pc=pc, imm=instr.imm)
+            elif op is Op.CONST_NULL:
+                env[instr.dst] = emit(Kind.CONST_NULL, pc=pc)
+            elif op is Op.MOV:
+                env[instr.dst] = use(instr.a)
+            elif op in _BINOP_KINDS:
+                a, b = use(instr.a), use(instr.b)
+                if op in (Op.DIV, Op.MOD):
+                    emit(Kind.CHECK_DIV0, [b], pc=pc)
+                env[instr.dst] = emit(_BINOP_KINDS[op], [a, b], pc=pc)
+            elif op is Op.NEW:
+                env[instr.dst] = emit(Kind.NEW, pc=pc, cls=instr.cls)
+            elif op is Op.NEWARR:
+                env[instr.dst] = emit(Kind.NEWARR, [use(instr.a)], pc=pc)
+            elif op is Op.GETF:
+                obj = use(instr.a)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                env[instr.dst] = emit(
+                    Kind.GETFIELD, [obj], pc=pc, field=instr.fieldname
+                )
+            elif op is Op.PUTF:
+                obj, value = use(instr.a), use(instr.b)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                emit(Kind.PUTFIELD, [obj, value], pc=pc, field=instr.fieldname)
+            elif op is Op.ALOAD:
+                arr, idx = use(instr.a), use(instr.b)
+                emit(Kind.CHECK_NULL, [arr], pc=pc)
+                length = emit(Kind.ALEN, [arr], pc=pc)
+                emit(Kind.CHECK_BOUNDS, [length, idx], pc=pc)
+                env[instr.dst] = emit(Kind.ALOAD, [arr, idx], pc=pc)
+            elif op is Op.ASTORE:
+                arr, idx, value = use(instr.a), use(instr.b), use(instr.c)
+                emit(Kind.CHECK_NULL, [arr], pc=pc)
+                length = emit(Kind.ALEN, [arr], pc=pc)
+                emit(Kind.CHECK_BOUNDS, [length, idx], pc=pc)
+                emit(Kind.ASTORE, [arr, idx, value], pc=pc)
+            elif op is Op.ALEN:
+                arr = use(instr.a)
+                emit(Kind.CHECK_NULL, [arr], pc=pc)
+                env[instr.dst] = emit(Kind.ALEN, [arr], pc=pc)
+            elif op is Op.CALL:
+                args = [use(r) for r in instr.args]
+                env[instr.dst] = emit(
+                    Kind.CALL, args, pc=pc, method=instr.method,
+                    src_method=self.method.qualified_name,
+                )
+            elif op is Op.VCALL:
+                args = [use(r) for r in instr.args]
+                emit(Kind.CHECK_NULL, [args[0]], pc=pc)
+                env[instr.dst] = emit(
+                    Kind.VCALL, args, pc=pc, method=instr.method,
+                    src_method=self.method.qualified_name,
+                )
+            elif op is Op.MENTER:
+                obj = use(instr.a)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                emit(Kind.MONITOR_ENTER, [obj], pc=pc)
+            elif op is Op.MEXIT:
+                obj = use(instr.a)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                emit(Kind.MONITOR_EXIT, [obj], pc=pc)
+            elif op is Op.SAFEPOINT:
+                emit(Kind.SAFEPOINT, pc=pc)
+            elif op is Op.NOP:
+                pass
+            elif op is Op.BR:
+                term = block.terminator
+                assert term is not None and term.kind is Kind.BRANCH
+                term.operands = [use(instr.a), use(instr.b)]
+            elif op is Op.RET:
+                term = block.terminator
+                assert term is not None and term.kind is Kind.RETURN
+                if instr.a is not None:
+                    term.operands = [use(instr.a)]
+            elif op is Op.JMP:
+                pass
+            else:  # pragma: no cover - exhaustive over Op
+                raise AssertionError(f"unhandled bytecode op {op}")

@@ -1,0 +1,279 @@
+"""Control-flow graph: blocks, explicit predecessor edges, phi maintenance.
+
+Edges are first-class: each block records ``preds`` as ``(pred_block,
+succ_index)`` pairs, and every PHI node's operands are positionally aligned
+with that list.  All CFG mutation goes through :class:`Graph` methods so the
+alignment invariant survives inlining, region replication, branch folding,
+and block merging (verified by :mod:`repro.ir.verify`).
+
+Atomic regions appear in the CFG exactly as the paper describes (§4,
+"atomic regions and abort as try/catch"): a region-entry block ends in a
+``REGION_BEGIN`` terminator whose successor 0 is the speculative body and
+successor 1 is the non-speculative recovery code — structurally a try block
+with its catch edge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from .ops import Kind, Node, TERMINATOR_KINDS
+
+_block_ids = itertools.count()
+
+
+class Block:
+    """A basic block: phis, straight-line ops, one terminator."""
+
+    __slots__ = (
+        "id", "phis", "ops", "terminator", "succs", "preds",
+        "count", "src_pc", "inline_ctx", "region_id", "is_recovery",
+        "region_entry",
+    )
+
+    def __init__(self, src_pc: int | None = None) -> None:
+        self.id = next(_block_ids)
+        self.phis: list[Node] = []
+        self.ops: list[Node] = []
+        self.terminator: Node | None = None
+        self.succs: list[Block] = []
+        #: (pred block, index into pred.succs) — phi operands align with this.
+        self.preds: list[tuple[Block, int]] = []
+        #: Profile execution count (from the tier-0 interpreter).
+        self.count: float = 0.0
+        #: Originating bytecode pc (region boundaries map back through this).
+        self.src_pc = src_pc
+        #: Inline context: tuple of callsite descriptions, () for root code.
+        self.inline_ctx: tuple = ()
+        #: Region id when this block is replicated speculative code.
+        self.region_id: int | None = None
+        #: True for blocks that are only reachable via recovery edges.
+        self.is_recovery = False
+        #: When region formation interposes a region-entry block in front of
+        #: this block, the entry block is recorded here so later edges into
+        #: the original location can be routed through it.
+        self.region_entry: "Block | None" = None
+
+    # -- contents ----------------------------------------------------------
+    def append(self, node: Node) -> Node:
+        if node.kind is Kind.PHI:
+            node.block = self
+            self.phis.append(node)
+        elif node.kind in TERMINATOR_KINDS:
+            raise ValueError("use Graph.set_terminator for terminators")
+        else:
+            node.block = self
+            self.ops.append(node)
+        return node
+
+    def insert_op(self, index: int, node: Node) -> Node:
+        node.block = self
+        self.ops.insert(index, node)
+        return node
+
+    def remove_op(self, node: Node) -> None:
+        if node.kind is Kind.PHI:
+            self.phis.remove(node)
+        else:
+            self.ops.remove(node)
+        node.block = None
+
+    def all_nodes(self) -> Iterator[Node]:
+        yield from self.phis
+        yield from self.ops
+        if self.terminator is not None:
+            yield self.terminator
+
+    def op_count(self) -> int:
+        """High-level operation count (the unit of the paper's R = 200)."""
+        return len(self.ops) + (1 if self.terminator is not None else 0)
+
+    def pred_blocks(self) -> list["Block"]:
+        return [p for p, _ in self.preds]
+
+    def edge_count_to(self, succ_index: int) -> float:
+        """Profile-estimated traversal count of out-edge ``succ_index``."""
+        term = self.terminator
+        if term is None:
+            return 0.0
+        counts = term.attrs.get("edge_counts")
+        if counts is not None and succ_index < len(counts):
+            return counts[succ_index]
+        # No branch profile: split the block count evenly.
+        return self.count / max(len(self.succs), 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"B{self.id}"
+
+
+class Graph:
+    """A method's IR: blocks, an entry, and edge-mutation primitives."""
+
+    def __init__(self, method_name: str, num_params: int = 0) -> None:
+        self.method_name = method_name
+        self.num_params = num_params
+        self.entry: Block | None = None
+        self.blocks: list[Block] = []
+        #: Monotonic region-id source for REGION_BEGIN terminators.
+        self._next_region_id = 0
+
+    # -- construction --------------------------------------------------------
+    def new_block(self, src_pc: int | None = None) -> Block:
+        block = Block(src_pc=src_pc)
+        self.blocks.append(block)
+        return block
+
+    def fresh_region_id(self) -> int:
+        rid = self._next_region_id
+        self._next_region_id += 1
+        return rid
+
+    def set_terminator(self, block: Block, term: Node, succs: Iterable[Block]) -> Node:
+        """Install ``term`` and wire its out-edges (phi-aware)."""
+        if block.terminator is not None:
+            self.clear_terminator(block)
+        if term.kind not in TERMINATOR_KINDS:
+            raise ValueError(f"{term.kind} is not a terminator")
+        term.block = block
+        block.terminator = term
+        for succ in succs:
+            self._link(block, succ)
+        return term
+
+    def clear_terminator(self, block: Block) -> None:
+        """Remove the terminator and unlink all out-edges."""
+        for index in reversed(range(len(block.succs))):
+            self._unlink(block, index)
+        if block.terminator is not None:
+            block.terminator.block = None
+        block.terminator = None
+
+    # -- edge mutation ---------------------------------------------------------
+    def _link(self, pred: Block, succ: Block, phi_values: list[Node] | None = None) -> None:
+        index = len(pred.succs)
+        pred.succs.append(succ)
+        succ.preds.append((pred, index))
+        values = phi_values or []
+        if succ.phis and len(values) != len(succ.phis):
+            raise ValueError(
+                f"edge {pred}->{succ}: {len(succ.phis)} phis need values, "
+                f"got {len(values)}"
+            )
+        for phi, value in zip(succ.phis, values):
+            phi.operands.append(value)
+
+    def _unlink(self, pred: Block, succ_index: int) -> None:
+        succ = pred.succs[succ_index]
+        # Remove the phi operands and preds entry for this edge.
+        for pos, (p, idx) in enumerate(succ.preds):
+            if p is pred and idx == succ_index:
+                del succ.preds[pos]
+                for phi in succ.phis:
+                    del phi.operands[pos]
+                break
+        else:
+            raise ValueError(f"edge {pred}[{succ_index}]->{succ} not found")
+        del pred.succs[succ_index]
+        # Shift succ indices recorded in downstream preds entries.
+        for i in range(succ_index, len(pred.succs)):
+            target = pred.succs[i]
+            target.preds = [
+                (p, idx - 1) if (p is pred and idx == i + 1) else (p, idx)
+                for (p, idx) in target.preds
+            ]
+
+    def replace_succ(
+        self,
+        pred: Block,
+        succ_index: int,
+        new_succ: Block,
+        phi_values: list[Node] | None = None,
+    ) -> None:
+        """Point out-edge ``succ_index`` of ``pred`` at ``new_succ``.
+
+        Phi operands on the old successor are dropped; ``phi_values`` supplies
+        the operands for phis in the new successor (must match in count).
+        """
+        old = pred.succs[succ_index]
+        for pos, (p, idx) in enumerate(old.preds):
+            if p is pred and idx == succ_index:
+                del old.preds[pos]
+                for phi in old.phis:
+                    del phi.operands[pos]
+                break
+        else:
+            raise ValueError(f"edge {pred}[{succ_index}] not found in {old}.preds")
+        pred.succs[succ_index] = new_succ
+        new_succ.preds.append((pred, succ_index))
+        values = phi_values or []
+        if new_succ.phis and len(values) != len(new_succ.phis):
+            raise ValueError(
+                f"edge {pred}->{new_succ}: {len(new_succ.phis)} phis need "
+                f"values, got {len(values)}"
+            )
+        for phi, value in zip(new_succ.phis, values):
+            phi.operands.append(value)
+
+    def redirect_all_edges(
+        self,
+        old_succ: Block,
+        new_succ: Block,
+        keep: Iterable[tuple[Block, int]] = (),
+    ) -> None:
+        """Redirect every edge into ``old_succ`` to ``new_succ``.
+
+        ``keep`` lists (pred, succ_index) edges to leave untouched.  Both
+        blocks must be phi-free (the only callers redirect into fresh region
+        entry blocks, which never carry phis).
+        """
+        if old_succ.phis or new_succ.phis:
+            raise ValueError("redirect_all_edges requires phi-free blocks")
+        kept = set(keep)
+        for pred, succ_index in list(old_succ.preds):
+            if (pred, succ_index) in kept:
+                continue
+            self.replace_succ(pred, succ_index, new_succ)
+
+    # -- traversal -----------------------------------------------------------
+    def rpo(self) -> list[Block]:
+        """Reverse postorder over blocks reachable from the entry."""
+        assert self.entry is not None
+        seen: set[int] = set()
+        order: list[Block] = []
+
+        stack: list[tuple[Block, int]] = [(self.entry, 0)]
+        seen.add(self.entry.id)
+        while stack:
+            block, child = stack[-1]
+            if child < len(block.succs):
+                stack[-1] = (block, child + 1)
+                succ = block.succs[child]
+                if succ.id not in seen:
+                    seen.add(succ.id)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                order.append(block)
+        order.reverse()
+        return order
+
+    def reachable(self) -> set[int]:
+        return {b.id for b in self.rpo()}
+
+    def prune_unreachable(self) -> list[Block]:
+        """Drop unreachable blocks (fixing phi/pred state); returns removals."""
+        live = self.reachable()
+        dead = [b for b in self.blocks if b.id not in live]
+        for block in dead:
+            # Unlink edges from dead blocks into live blocks.
+            for index in reversed(range(len(block.succs))):
+                self._unlink(block, index)
+        self.blocks = [b for b in self.blocks if b.id in live]
+        return dead
+
+    def node_count(self) -> int:
+        return sum(len(b.phis) + b.op_count() for b in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Graph {self.method_name}: {len(self.blocks)} blocks>"

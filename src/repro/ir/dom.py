@@ -1,0 +1,159 @@
+"""Dominator and post-dominator analysis (Cooper–Harvey–Kennedy).
+
+Used by SSA construction (dominance frontiers), GVN (dominator-tree walk),
+region formation (``TRACEDOMINANTPATH`` sanity), and the paper's §7
+future-work optimization that treats post-dominance inside an atomic region
+as good as dominance for check elimination.
+"""
+
+from __future__ import annotations
+
+from .cfg import Block, Graph
+
+
+class DomTree:
+    """Immediate-dominator tree over the blocks reachable from the entry."""
+
+    def __init__(self, idom: dict[int, Block], order: list[Block]) -> None:
+        #: block id -> immediate dominator block (entry maps to itself).
+        self.idom = idom
+        #: reverse postorder used to compute the tree.
+        self.order = order
+        self.children: dict[int, list[Block]] = {b.id: [] for b in order}
+        root = order[0] if order else None
+        for block in order:
+            parent = idom.get(block.id)
+            if parent is not None and block is not root:
+                self.children[parent.id].append(block)
+
+    def dominates(self, a: Block, b: Block) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        cursor: Block | None = b
+        while cursor is not None:
+            if cursor is a:
+                return True
+            parent = self.idom.get(cursor.id)
+            if parent is cursor:
+                return False
+            cursor = parent
+        return False
+
+    def walk_preorder(self) -> list[Block]:
+        if not self.order:
+            return []
+        out: list[Block] = []
+        stack = [self.order[0]]
+        while stack:
+            block = stack.pop()
+            out.append(block)
+            stack.extend(reversed(self.children[block.id]))
+        return out
+
+
+def _compute_idom(
+    order: list[Block],
+    preds_of: dict[int, list[Block]],
+) -> dict[int, Block]:
+    """CHK iterative dominator algorithm over an RPO ``order``."""
+    if not order:
+        return {}
+    rpo_index = {b.id: i for i, b in enumerate(order)}
+    root = order[0]
+    idom: dict[int, Block] = {root.id: root}
+
+    def intersect(a: Block, b: Block) -> Block:
+        while a is not b:
+            while rpo_index[a.id] > rpo_index[b.id]:
+                a = idom[a.id]
+            while rpo_index[b.id] > rpo_index[a.id]:
+                b = idom[b.id]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order[1:]:
+            new_idom: Block | None = None
+            for pred in preds_of[block.id]:
+                if pred.id not in idom or pred.id not in rpo_index:
+                    continue
+                new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(block.id) is not new_idom:
+                idom[block.id] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(graph: Graph) -> DomTree:
+    """Dominators of ``graph`` (over reachable blocks, entry-rooted)."""
+    order = graph.rpo()
+    reachable = {b.id for b in order}
+    preds_of = {
+        b.id: [p for p in b.pred_blocks() if p.id in reachable] for b in order
+    }
+    return DomTree(_compute_idom(order, preds_of), order)
+
+
+def postdominator_tree(graph: Graph) -> tuple[DomTree, Block]:
+    """Post-dominators on the reversed CFG, rooted at a *virtual exit*.
+
+    Returns ``(tree, virtual_exit)``; the virtual exit block is not part of
+    the graph but appears as the tree root, post-dominating every block that
+    reaches a RETURN.  Blocks inside infinite loops never appear.
+    """
+    order = graph.rpo()
+    exits = [b for b in order if not b.succs]
+    virtual = Block()
+    if not exits:
+        return DomTree({virtual.id: virtual}, [virtual]), virtual
+
+    reachable = {b.id for b in order}
+    # Reversed graph: succ(X) = original preds, pred(X) = original succs.
+    rsucc: dict[int, list[Block]] = {virtual.id: list(exits)}
+    rpred: dict[int, list[Block]] = {virtual.id: []}
+    for block in order:
+        rsucc[block.id] = [p for p in block.pred_blocks() if p.id in reachable]
+        rpred[block.id] = list(block.succs)
+        if not block.succs:
+            rpred[block.id] = [virtual]
+
+    # RPO over the reversed graph from the virtual exit.
+    seen = {virtual.id}
+    post: list[Block] = []
+    stack: list[tuple[Block, int]] = [(virtual, 0)]
+    while stack:
+        block, child = stack[-1]
+        succs = rsucc[block.id]
+        if child < len(succs):
+            stack[-1] = (block, child + 1)
+            nxt = succs[child]
+            if nxt.id not in seen:
+                seen.add(nxt.id)
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            post.append(block)
+    rorder = list(reversed(post))
+
+    preds_of = {b.id: [p for p in rpred[b.id] if p.id in seen] for b in rorder}
+    return DomTree(_compute_idom(rorder, preds_of), rorder), virtual
+
+
+def dominance_frontiers(graph: Graph, tree: DomTree) -> dict[int, set[Block]]:
+    """Cytron-style dominance frontiers via the CHK two-pointer walk."""
+    frontiers: dict[int, set[Block]] = {b.id: set() for b in tree.order}
+    reachable = {b.id for b in tree.order}
+    for block in tree.order:
+        preds = [p for p in block.pred_blocks() if p.id in reachable]
+        if len(preds) < 2:
+            continue
+        target_idom = tree.idom[block.id]
+        for pred in preds:
+            runner = pred
+            while runner is not target_idom:
+                frontiers[runner.id].add(block)
+                nxt = tree.idom.get(runner.id)
+                if nxt is None or nxt is runner:
+                    break
+                runner = nxt
+    return frontiers

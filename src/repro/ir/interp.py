@@ -1,0 +1,367 @@
+"""IR-level executor with full atomic-region semantics.
+
+This is the reference semantics for the IR: it executes a graph directly,
+including ``REGION_BEGIN`` / ``ASSERT`` / ``AREGION_END`` with genuine
+rollback (heap and monitor state restored, control transferred to the
+recovery successor).  Its purpose is *differential testing*: every compiler
+transform must leave a graph that computes the same results as the bytecode
+interpreter, and every region-formed graph must compute the same results
+even when asserts fire.
+
+It intentionally models what the paper's hardware guarantees — "either the
+region commits successfully, or all changes performed in the region are
+undone and control is transferred to an alternate region" (§3.2) — without
+any of the microarchitecture, which lives in :mod:`repro.hw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.bytecode import Program
+from ..runtime.errors import GuestArithmeticError, GuestError, VMError
+from ..runtime.heap import GuestArray, GuestObject, Heap, Value
+from ..runtime.interpreter import compare, guest_div, guest_mod, wrap_int
+from ..runtime.locks import MAIN_THREAD
+from .cfg import Block, Graph
+from .ops import Kind, Node
+
+
+@dataclass
+class AbortRecord:
+    """One region abort observed during IR execution."""
+
+    region_id: int | None
+    reason: str            # "assert" | "exception" | "sle_conflict" | "injected"
+    node_id: int | None
+
+
+@dataclass
+class _Checkpoint:
+    begin_block: Block
+    region_id: int | None
+    heap_log: list = field(default_factory=list)   # undo entries
+    lock_log: list = field(default_factory=list)   # (lock, owner, depth, reserver, acq, cacq)
+
+
+class RegionRollback(Exception):
+    """Internal control transfer: unwind to the active region's recovery."""
+
+    def __init__(self, reason: str, node: Node | None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.node = node
+
+
+class IRExecutor:
+    """Executes IR graphs against the shared runtime heap."""
+
+    def __init__(
+        self,
+        program: Program,
+        heap: Heap | None = None,
+        dispatcher=None,
+        fuel: int | None = None,
+        abort_injector=None,
+    ) -> None:
+        self.program = program
+        self.heap = heap if heap is not None else Heap()
+        #: invoked for CALL/VCALL; anything with .invoke(method, args).
+        self.dispatcher = dispatcher
+        self.fuel = fuel
+        self.steps = 0
+        self.aborts: list[AbortRecord] = []
+        self.regions_entered = 0
+        self.regions_committed = 0
+        #: optional callable (region_id, node) -> str | None; returning a
+        #: string aborts the region with that reason (conflict injection).
+        self.abort_injector = abort_injector
+        #: optional callable (block, env) invoked at each block entry after
+        #: phi evaluation — a tracing hook for tests and debugging tools.
+        self.on_block = None
+
+    # -- public ----------------------------------------------------------------
+    def run(self, graph: Graph, args: list[Value]) -> Value:
+        if len(args) != graph.num_params:
+            raise VMError(
+                f"{graph.method_name}: expected {graph.num_params} args, "
+                f"got {len(args)}"
+            )
+        env: dict[int, Value] = {}
+        checkpoint: _Checkpoint | None = None
+        block = graph.entry
+        prev: tuple[Block, int] | None = None
+        assert block is not None
+
+        while True:
+            # Phis first, all-at-once against the incoming edge.
+            if block.phis:
+                position = self._edge_position(prev, block)
+                new_values = [env[phi.operands[position].id] for phi in block.phis]
+                for phi, value in zip(block.phis, new_values):
+                    env[phi.id] = value
+            if self.on_block is not None:
+                self.on_block(block, env)
+
+            try:
+                for node in block.ops:
+                    if node.kind is Kind.AREGION_END:
+                        if checkpoint is None:
+                            raise VMError("AREGION_END outside a region")
+                        self.regions_committed += 1
+                        checkpoint = None
+                        continue
+                    self._step(node, env, args, checkpoint)
+            except RegionRollback as rollback:
+                assert checkpoint is not None
+                self._rollback(checkpoint)
+                self.aborts.append(
+                    AbortRecord(
+                        checkpoint.region_id,
+                        rollback.reason,
+                        rollback.node.id if rollback.node is not None else None,
+                    )
+                )
+                prev = (checkpoint.begin_block, 1)
+                block = checkpoint.begin_block.succs[1]
+                checkpoint = None
+                continue
+            except GuestError:
+                if checkpoint is not None:
+                    # Precise exceptions: abort, rerun non-speculatively; the
+                    # recovery path will re-raise outside the region.
+                    self._rollback(checkpoint)
+                    self.aborts.append(
+                        AbortRecord(checkpoint.region_id, "exception", None)
+                    )
+                    prev = (checkpoint.begin_block, 1)
+                    block = checkpoint.begin_block.succs[1]
+                    checkpoint = None
+                    continue
+                raise
+
+            term = block.terminator
+            assert term is not None
+            kind = term.kind
+            if kind is Kind.RETURN:
+                if checkpoint is not None:
+                    raise VMError("RETURN inside an uncommitted atomic region")
+                return env[term.operands[0].id] if term.operands else None
+            if kind is Kind.JUMP:
+                prev, block = (block, 0), block.succs[0]
+                continue
+            if kind is Kind.BRANCH:
+                a = env[term.operands[0].id]
+                b = env[term.operands[1].id]
+                taken = compare(term.attrs["cond"], a, b)
+                index = 0 if taken else 1
+                prev, block = (block, index), block.succs[index]
+                continue
+            if kind is Kind.REGION_BEGIN:
+                if checkpoint is not None:
+                    raise VMError("nested REGION_BEGIN")
+                checkpoint = _Checkpoint(
+                    begin_block=block, region_id=term.attrs.get("region_id")
+                )
+                self.regions_entered += 1
+                prev, block = (block, 0), block.succs[0]
+                continue
+            raise VMError(f"unhandled terminator {kind}")  # pragma: no cover
+
+    # -- helpers ------------------------------------------------------------------
+    def _edge_position(
+        self, prev: tuple[Block, int] | None, block: Block
+    ) -> int:
+        if prev is None:
+            raise VMError(f"phi at graph entry {block}")
+        prev_block, succ_index = prev
+        for position, (pred, idx) in enumerate(block.preds):
+            if pred is prev_block and idx == succ_index:
+                return position
+        raise VMError(f"no edge from {prev_block}[{succ_index}] to {block}")
+
+    def _rollback(self, checkpoint: _Checkpoint) -> None:
+        for entry in reversed(checkpoint.heap_log):
+            target, key, old = entry
+            if isinstance(target, GuestObject):
+                target.slots[key] = old
+            else:
+                target.values[key] = old
+        for lock, owner, depth, reserver, acq, cacq in reversed(checkpoint.lock_log):
+            lock.owner = owner
+            lock.depth = depth
+            lock.reserver = reserver
+            lock.acquisitions = acq
+            lock.contended_acquisitions = cacq
+
+    def _log_field_write(
+        self, checkpoint: _Checkpoint | None, obj: GuestObject, slot: int
+    ) -> None:
+        if checkpoint is not None:
+            checkpoint.heap_log.append((obj, slot, obj.slots[slot]))
+
+    def _log_array_write(
+        self, checkpoint: _Checkpoint | None, arr: GuestArray, index: int
+    ) -> None:
+        if checkpoint is not None:
+            checkpoint.heap_log.append((arr, index, arr.values[index]))
+
+    def _log_lock(self, checkpoint: _Checkpoint | None, lock) -> None:
+        if checkpoint is not None:
+            checkpoint.lock_log.append(
+                (lock, lock.owner, lock.depth, lock.reserver,
+                 lock.acquisitions, lock.contended_acquisitions)
+            )
+
+    # -- single-op execution -----------------------------------------------------
+    def _step(
+        self,
+        node: Node,
+        env: dict[int, Value],
+        args: list[Value],
+        checkpoint: _Checkpoint | None,
+    ) -> None:
+        self.steps += 1
+        if self.fuel is not None and self.steps > self.fuel:
+            raise VMError("IR executor fuel exhausted")
+        if self.abort_injector is not None and checkpoint is not None:
+            reason = self.abort_injector(checkpoint.region_id, node)
+            if reason:
+                raise RegionRollback(reason, node)
+
+        kind = node.kind
+        get = lambda i: env[node.operands[i].id]  # noqa: E731
+
+        if kind is Kind.CONST:
+            env[node.id] = node.attrs["imm"]
+        elif kind is Kind.CONST_NULL:
+            env[node.id] = None
+        elif kind is Kind.CONST_CLASS:
+            env[node.id] = node.attrs["cls"]
+        elif kind is Kind.PARAM:
+            env[node.id] = args[node.attrs["index"]]
+        elif kind is Kind.ADD:
+            env[node.id] = wrap_int(get(0) + get(1))
+        elif kind is Kind.SUB:
+            env[node.id] = wrap_int(get(0) - get(1))
+        elif kind is Kind.MUL:
+            env[node.id] = wrap_int(get(0) * get(1))
+        elif kind is Kind.DIV:
+            env[node.id] = guest_div(get(0), get(1))
+        elif kind is Kind.MOD:
+            env[node.id] = guest_mod(get(0), get(1))
+        elif kind is Kind.AND:
+            env[node.id] = wrap_int(get(0) & get(1))
+        elif kind is Kind.OR:
+            env[node.id] = wrap_int(get(0) | get(1))
+        elif kind is Kind.XOR:
+            env[node.id] = wrap_int(get(0) ^ get(1))
+        elif kind is Kind.SHL:
+            env[node.id] = wrap_int(get(0) << (get(1) & 63))
+        elif kind is Kind.SHR:
+            env[node.id] = wrap_int(get(0) >> (get(1) & 63))
+        elif kind is Kind.CLASSOF:
+            ref = get(0)
+            env[node.id] = (
+                ref.class_name if isinstance(ref, GuestObject) else "[array]"
+            )
+        elif kind is Kind.ALEN:
+            env[node.id] = get(0).length
+        elif kind is Kind.GETFIELD:
+            env[node.id] = get(0).get(node.attrs["field"])
+        elif kind is Kind.ALOAD:
+            arr, idx = get(0), get(1)
+            # Raw access: the guard is a separate CHECK_BOUNDS op.  A bad
+            # index with the check optimized away models a hardware fault,
+            # which inside a region aborts to the precise recovery path.
+            env[node.id] = arr.load(idx)
+        elif kind is Kind.NEW:
+            layout = self.program.field_layout(node.attrs["cls"])
+            env[node.id] = self.heap.new_object(node.attrs["cls"], layout)
+        elif kind is Kind.NEWARR:
+            env[node.id] = self.heap.new_array(get(0))
+        elif kind in (Kind.CALL, Kind.VCALL):
+            if self.dispatcher is None:
+                raise VMError("IR executor has no call dispatcher")
+            if checkpoint is not None:
+                # Region formation terminates regions at non-inlined calls
+                # (paper §4); a call inside a region is a formation bug, and
+                # its heap effects could not be rolled back.
+                raise VMError("call inside an atomic region")
+            if kind is Kind.CALL:
+                callee = self.program.resolve_static(node.attrs["method"])
+            else:
+                receiver = get(0)
+                callee = self.program.resolve_virtual(
+                    receiver.class_name, node.attrs["method"]
+                )
+            call_args = [env[op.id] for op in node.operands]
+            env[node.id] = self.dispatcher.invoke(callee, call_args)
+        elif kind is Kind.PUTFIELD:
+            obj = get(0)
+            slot = obj.field_index[node.attrs["field"]]
+            self._log_field_write(checkpoint, obj, slot)
+            obj.slots[slot] = get(1)
+        elif kind is Kind.ASTORE:
+            arr, idx = get(0), get(1)
+            if not 0 <= idx < len(arr.values):
+                from ..runtime.errors import BoundsError
+
+                raise BoundsError(idx, len(arr.values))
+            self._log_array_write(checkpoint, arr, idx)
+            arr.values[idx] = get(2)
+        elif kind is Kind.CHECK_NULL:
+            if get(0) is None:
+                self._check_failed(node, checkpoint, "null dereference")
+        elif kind is Kind.CHECK_BOUNDS:
+            length, idx = get(0), get(1)
+            if not 0 <= idx < length:
+                self._check_failed(node, checkpoint, f"index {idx} of {length}")
+        elif kind is Kind.CHECK_DIV0:
+            if get(0) == 0:
+                self._check_failed(node, checkpoint, "division by zero")
+        elif kind is Kind.CHECK_CLASS:
+            if get(0) != node.attrs["cls"]:
+                self._check_failed(node, checkpoint, "class check failed")
+        elif kind is Kind.MONITOR_ENTER:
+            lock = get(0).lock
+            self._log_lock(checkpoint, lock)
+            lock.enter(MAIN_THREAD)
+        elif kind is Kind.MONITOR_EXIT:
+            lock = get(0).lock
+            self._log_lock(checkpoint, lock)
+            lock.exit(MAIN_THREAD)
+        elif kind is Kind.SLE_ENTER:
+            lock = get(0).lock
+            if lock.held_by_other(MAIN_THREAD):
+                raise RegionRollback("sle_conflict", node)
+            # Elided: no store to the lock word at all.
+        elif kind is Kind.ASSERT:
+            if compare(node.attrs["cond"], get(0), get(1)):
+                raise RegionRollback("assert", node)
+        elif kind is Kind.AREGION_END:  # handled in run(); unreachable here
+            raise VMError("AREGION_END must be handled by the block loop")
+        elif kind is Kind.SAFEPOINT:
+            pass
+        elif kind is Kind.PHI:  # handled at block entry
+            raise VMError("phi executed as a straight-line op")
+        else:  # pragma: no cover - exhaustive over Kind
+            raise VMError(f"unhandled IR kind {kind}")
+
+    def _check_failed(
+        self, node: Node, checkpoint: _Checkpoint | None, detail: str
+    ) -> None:
+        if checkpoint is not None:
+            raise RegionRollback("exception", node)
+        kind = node.kind
+        if kind is Kind.CHECK_NULL:
+            from ..runtime.errors import NullPointerError
+
+            raise NullPointerError(detail)
+        if kind is Kind.CHECK_BOUNDS:
+            from ..runtime.errors import BoundsError
+
+            raise BoundsError(-1, -1)
+        if kind is Kind.CHECK_DIV0:
+            raise GuestArithmeticError(detail)
+        raise GuestError(detail)

@@ -1,0 +1,64 @@
+"""Human-readable IR dumps, used by examples, tests, and debugging."""
+
+from __future__ import annotations
+
+from .cfg import Block, Graph
+from .ops import Kind, Node
+
+
+def format_node(node: Node) -> str:
+    ops = ", ".join(f"%{o.id}" for o in node.operands)
+    attrs = []
+    for key, value in node.attrs.items():
+        if key == "edge_counts":
+            continue
+        attrs.append(f"{key}={value}")
+    attr_text = (" [" + ", ".join(attrs) + "]") if attrs else ""
+    prefix = f"%{node.id} = " if node.is_value() else ""
+    return f"{prefix}{node.kind.name.lower()}({ops}){attr_text}"
+
+
+def format_block(block: Block) -> str:
+    lines = []
+    tags = []
+    if block.region_id is not None:
+        tags.append(f"region={block.region_id}")
+    if block.is_recovery:
+        tags.append("recovery")
+    if block.count:
+        tags.append(f"count={block.count:.0f}")
+    header = f"B{block.id}:" + ((" ; " + " ".join(tags)) if tags else "")
+    lines.append(header)
+    for phi in block.phis:
+        srcs = ", ".join(
+            f"[{pred}: %{op.id}]" for (pred, _), op in zip(block.preds, phi.operands)
+        )
+        lines.append(f"  %{phi.id} = phi {srcs}")
+    for node in block.ops:
+        lines.append(f"  {format_node(node)}")
+    term = block.terminator
+    if term is not None:
+        succ_text = ", ".join(str(s) for s in term.block.succs)
+        if term.kind is Kind.BRANCH:
+            a, b = term.operands
+            lines.append(
+                f"  branch {term.attrs['cond']} %{a.id}, %{b.id} -> [{succ_text}]"
+            )
+        elif term.kind is Kind.REGION_BEGIN:
+            lines.append(
+                f"  aregion_begin id={term.attrs.get('region_id')} "
+                f"-> [spec={term.block.succs[0]}, recover={term.block.succs[1]}]"
+            )
+        elif term.kind is Kind.RETURN:
+            val = f" %{term.operands[0].id}" if term.operands else ""
+            lines.append(f"  return{val}")
+        else:
+            lines.append(f"  jump -> [{succ_text}]")
+    return "\n".join(lines)
+
+
+def format_graph(graph: Graph) -> str:
+    lines = [f"graph {graph.method_name} (entry {graph.entry}):"]
+    for block in graph.rpo():
+        lines.append(format_block(block))
+    return "\n".join(lines)

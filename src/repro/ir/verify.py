@@ -1,0 +1,189 @@
+"""IR structural verifier.
+
+Run after every transform in tests (and in the compiler's debug mode) to
+catch CFG/SSA corruption early: edge/pred inconsistencies, phi operand
+misalignment, uses that are not dominated by their definitions, and
+malformed region structure (nested regions, region code reachable without
+passing a REGION_BEGIN, values flowing from speculative code into recovery
+code — the paper's hardware discards those on abort, so the IR must never
+consume them there).
+"""
+
+from __future__ import annotations
+
+from .cfg import Block, Graph
+from .dom import DomTree, dominator_tree
+from .ops import Kind, Node, TERMINATOR_KINDS, VALUE_KINDS
+
+
+class IRVerifyError(Exception):
+    """The graph violates an IR invariant."""
+
+
+def verify_graph(graph: Graph, check_regions: bool = True) -> None:
+    """Raise :class:`IRVerifyError` on the first violated invariant."""
+    if graph.entry is None:
+        raise IRVerifyError("graph has no entry block")
+    if graph.entry.preds:
+        raise IRVerifyError("entry block has predecessors")
+
+    _check_edges(graph)
+    tree = dominator_tree(graph)
+    _check_ssa(graph, tree)
+    if check_regions:
+        _check_regions(graph, tree)
+
+
+def _check_edges(graph: Graph) -> None:
+    ids = {b.id for b in graph.blocks}
+    for block in graph.blocks:
+        term = block.terminator
+        if term is None:
+            raise IRVerifyError(f"{block} has no terminator")
+        if term.kind not in TERMINATOR_KINDS:
+            raise IRVerifyError(f"{block} terminator is {term.kind}")
+        expected = {
+            Kind.BRANCH: 2,
+            Kind.JUMP: 1,
+            Kind.RETURN: 0,
+            Kind.REGION_BEGIN: 2,
+        }[term.kind]
+        if len(block.succs) != expected:
+            raise IRVerifyError(
+                f"{block} {term.kind.name} has {len(block.succs)} succs, "
+                f"expected {expected}"
+            )
+        for index, succ in enumerate(block.succs):
+            if succ.id not in ids:
+                raise IRVerifyError(f"{block} -> removed block {succ}")
+            if (block, index) not in succ.preds:
+                raise IRVerifyError(
+                    f"edge {block}[{index}] -> {succ} missing from preds"
+                )
+        for pred, index in block.preds:
+            if pred.id not in ids:
+                raise IRVerifyError(f"{block} has removed pred {pred}")
+            if index >= len(pred.succs) or pred.succs[index] is not block:
+                raise IRVerifyError(
+                    f"pred entry ({pred},{index}) of {block} is stale"
+                )
+        for phi in block.phis:
+            if len(phi.operands) != len(block.preds):
+                raise IRVerifyError(
+                    f"phi %{phi.id} in {block} has {len(phi.operands)} "
+                    f"operands for {len(block.preds)} preds"
+                )
+        for node in block.all_nodes():
+            if node.block is not block:
+                raise IRVerifyError(
+                    f"node %{node.id} in {block} has stale block {node.block}"
+                )
+
+
+def _check_ssa(graph: Graph, tree: DomTree) -> None:
+    reachable = {b.id for b in tree.order}
+    defined: dict[int, Node] = {}
+    for block in graph.blocks:
+        if block.id not in reachable:
+            continue
+        for node in block.all_nodes():
+            if node.kind in VALUE_KINDS:
+                defined[node.id] = node
+
+    # A definition must dominate each use (for phis: dominate the pred edge).
+    block_order: dict[int, dict[int, int]] = {}
+    for block in graph.blocks:
+        block_order[block.id] = {
+            node.id: i for i, node in enumerate(block.all_nodes())
+        }
+
+    def dominates_use(def_node: Node, use_block: Block, use_pos: int) -> bool:
+        def_block = def_node.block
+        if def_block is None:
+            return False
+        if def_block is use_block:
+            return block_order[def_block.id][def_node.id] < use_pos
+        return tree.dominates(def_block, use_block)
+
+    for block in graph.blocks:
+        if block.id not in reachable:
+            continue
+        nodes = list(block.all_nodes())
+        for pos, node in enumerate(nodes):
+            if node.kind is Kind.PHI:
+                for (pred, _), operand in zip(block.preds, node.operands):
+                    if operand is None:
+                        raise IRVerifyError(f"phi %{node.id} has a None operand")
+                    if operand.id not in defined:
+                        raise IRVerifyError(
+                            f"phi %{node.id} uses undefined %{operand.id}"
+                        )
+                    if pred.id in reachable and not dominates_use(
+                        operand, pred, len(block_order[pred.id])
+                    ):
+                        raise IRVerifyError(
+                            f"phi %{node.id} operand %{operand.id} does not "
+                            f"dominate pred {pred}"
+                        )
+                continue
+            for operand in node.operands:
+                if operand is None:
+                    raise IRVerifyError(f"node %{node.id} has a None operand")
+                if operand.id not in defined:
+                    raise IRVerifyError(
+                        f"%{node.id} in {block} uses undefined %{operand.id}"
+                    )
+                if not dominates_use(operand, block, pos):
+                    raise IRVerifyError(
+                        f"%{node.id} in {block} uses %{operand.id} which does "
+                        f"not dominate it"
+                    )
+
+
+def _check_regions(graph: Graph, tree: DomTree) -> None:
+    """Region structure: no nesting, END/ASSERT only in regions, recovery
+    blocks never contain speculative values (enforced by SSA dominance
+    already, but nesting and placement need explicit checks)."""
+    reachable = [b for b in graph.blocks if b.id in {x.id for x in tree.order}]
+
+    # Compute, for every block, whether it executes inside a region: walk
+    # forward from entry tracking region state.
+    state: dict[int, set[int | None]] = {graph.entry.id: {None}}
+    worklist = [graph.entry]
+    while worklist:
+        block = worklist.pop()
+        states = state[block.id]
+        term = block.terminator
+        for index, succ in enumerate(block.succs):
+            if term.kind is Kind.REGION_BEGIN:
+                if None not in states or len(states) != 1:
+                    raise IRVerifyError(
+                        f"{block}: REGION_BEGIN reachable while already "
+                        f"inside a region (nesting is forbidden)"
+                    )
+                rid = term.attrs.get("region_id")
+                out = {rid} if index == 0 else {None}
+            else:
+                out = set(states)
+                if any(op.kind is Kind.AREGION_END for op in block.ops):
+                    out = {None}
+            have = state.setdefault(succ.id, set())
+            if not out <= have:
+                have |= out
+                worklist.append(succ)
+
+    for block in reachable:
+        states = state.get(block.id, set())
+        in_region = any(s is not None for s in states)
+        mixed = in_region and None in states
+        if mixed:
+            raise IRVerifyError(
+                f"{block} reachable both inside and outside a region"
+            )
+        for node in block.ops:
+            if node.kind is Kind.ASSERT and not in_region:
+                raise IRVerifyError(f"ASSERT outside any region in {block}")
+            if node.kind is Kind.SLE_ENTER and not in_region:
+                raise IRVerifyError(f"SLE_ENTER outside any region in {block}")
+            if node.kind is Kind.AREGION_END and not in_region:
+                raise IRVerifyError(f"AREGION_END outside any region in {block}")

@@ -1,0 +1,33 @@
+"""Guest language: register-based OO bytecode, builders, and validation."""
+
+from .bytecode import (
+    BINOPS,
+    CONDITIONS,
+    ClassDef,
+    Instr,
+    Method,
+    Op,
+    PRODUCES,
+    Program,
+    TERMINATORS,
+)
+from .builder import MethodBuilder, ProgramBuilder, Reg
+from .validate import ValidationError, validate_method, validate_program
+
+__all__ = [
+    "BINOPS",
+    "CONDITIONS",
+    "ClassDef",
+    "Instr",
+    "Method",
+    "MethodBuilder",
+    "Op",
+    "PRODUCES",
+    "Program",
+    "ProgramBuilder",
+    "Reg",
+    "TERMINATORS",
+    "ValidationError",
+    "validate_method",
+    "validate_program",
+]

@@ -1,0 +1,268 @@
+"""Register-based object-oriented bytecode: the guest language of the VM.
+
+This plays the role that Java bytecode plays in the paper: a managed
+language with objects, virtual dispatch, mandatory null/bounds checks and
+Java-style monitors.  The tier-0 interpreter executes it directly
+(:mod:`repro.runtime.interpreter`) and the optimizing compiler translates it
+into the IR of :mod:`repro.ir`.
+
+The bytecode is register based (not stack based) because it maps onto a
+compiler IR with far less bookkeeping; the distinction is irrelevant to the
+paper's contribution.
+
+A :class:`Program` is a set of :class:`ClassDef` plus free-standing (static)
+:class:`Method` objects.  Virtual methods live inside their class and receive
+the receiver as parameter 0.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Op(enum.Enum):
+    """Bytecode opcodes.
+
+    Heap opcodes carry the language-mandated safety checks implicitly: the
+    interpreter performs them at runtime and the IR builder makes them
+    explicit ``CHECK_*`` operations so the optimizer can reason about them.
+    """
+
+    # Data movement / arithmetic.
+    CONST = "const"          # dst <- imm (64-bit signed integer)
+    CONST_NULL = "const_null"  # dst <- null reference
+    MOV = "mov"              # dst <- a
+    ADD = "add"              # dst <- a + b
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"              # traps ArithmeticError on b == 0
+    MOD = "mod"              # traps ArithmeticError on b == 0
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Control flow.
+    JMP = "jmp"              # unconditional jump to target
+    BR = "br"                # if cmp(cond, a, b): jump to target
+    RET = "ret"              # return a (or nothing when a is None)
+
+    # Heap access.
+    NEW = "new"              # dst <- new instance of cls
+    NEWARR = "newarr"        # dst <- new int/ref array of length a
+    GETF = "getf"            # dst <- a.field        (null check)
+    PUTF = "putf"            # a.field <- b          (null check)
+    ALOAD = "aload"          # dst <- a[b]           (null + bounds check)
+    ASTORE = "astore"        # a[b] <- c             (null + bounds check)
+    ALEN = "alen"            # dst <- length of a    (null check)
+
+    # Calls.
+    CALL = "call"            # dst <- method(args)          (static dispatch)
+    VCALL = "vcall"          # dst <- args[0].method(args)  (virtual dispatch)
+
+    # Synchronization (Java monitors).
+    MENTER = "menter"        # acquire monitor of object a (reentrant)
+    MEXIT = "mexit"          # release monitor of object a
+
+    # Misc.
+    SAFEPOINT = "safepoint"  # GC yield poll; loops carry one
+    NOP = "nop"
+
+
+#: Comparison conditions usable by Op.BR.
+CONDITIONS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+#: Conditions applicable to references (others are integer-only).
+REF_CONDITIONS = ("eq", "ne")
+
+#: Opcodes that produce a value in ``dst``.
+PRODUCES = frozenset({
+    Op.CONST, Op.CONST_NULL, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+    Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.NEW, Op.NEWARR, Op.GETF,
+    Op.ALOAD, Op.ALEN, Op.CALL, Op.VCALL,
+})
+
+#: Binary integer arithmetic opcodes.
+BINOPS = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+    Op.SHL, Op.SHR,
+})
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Op.JMP, Op.BR, Op.RET})
+
+
+@dataclass
+class Instr:
+    """One bytecode instruction.
+
+    Operand fields are registers (small ints) unless stated otherwise:
+
+    - ``dst``: destination register for value-producing opcodes.
+    - ``a``, ``b``, ``c``: source registers (meaning depends on opcode).
+    - ``imm``: integer immediate (CONST).
+    - ``cond``: condition string (BR).
+    - ``target``: branch-target instruction index (JMP/BR).
+    - ``cls``: class name (NEW).
+    - ``fieldname``: field name (GETF/PUTF).
+    - ``method``: callee name (CALL/VCALL).
+    - ``args``: tuple of argument registers (CALL/VCALL).
+    """
+
+    op: Op
+    dst: int | None = None
+    a: int | None = None
+    b: int | None = None
+    c: int | None = None
+    imm: int | None = None
+    cond: str | None = None
+    target: int | None = None
+    cls: str | None = None
+    fieldname: str | None = None
+    method: str | None = None
+    args: tuple[int, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.dst is not None:
+            parts.append(f"r{self.dst} <-")
+        if self.cond is not None:
+            parts.append(self.cond)
+        for reg in (self.a, self.b, self.c):
+            if reg is not None:
+                parts.append(f"r{reg}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.cls is not None:
+            parts.append(self.cls)
+        if self.fieldname is not None:
+            parts.append(f".{self.fieldname}")
+        if self.method is not None:
+            parts.append(self.method + "(" + ", ".join(f"r{r}" for r in self.args) + ")")
+        if self.target is not None:
+            parts.append(f"-> @{self.target}")
+        return " ".join(parts)
+
+
+@dataclass
+class Method:
+    """A compiled unit: parameters, a register file size, and instructions.
+
+    ``owner`` is the defining class name for virtual methods and ``None`` for
+    static methods.  ``synchronized`` methods are lowered by the builder into
+    explicit MENTER/MEXIT pairs around the body, mirroring how a JVM treats
+    synchronized methods; the flag is retained for tooling.
+    """
+
+    name: str
+    num_params: int
+    instrs: list[Instr] = field(default_factory=list)
+    num_regs: int = 0
+    owner: str | None = None
+    synchronized: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}" if self.owner else self.name
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass
+class ClassDef:
+    """A guest class: named fields and virtual methods.
+
+    Field storage is flat; ``field_index`` maps a field name to its slot.
+    Single inheritance: ``super_name`` may name another class whose fields
+    and methods are inherited (fields are prepended by the resolver).
+    """
+
+    name: str
+    fields: list[str] = field(default_factory=list)
+    methods: dict[str, Method] = field(default_factory=dict)
+    super_name: str | None = None
+
+
+class Program:
+    """A complete guest program: classes, static methods, and an entry point."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassDef] = {}
+        self.methods: dict[str, Method] = {}
+        self.entry: str | None = None
+        self._layout_cache: dict[str, dict[str, int]] = {}
+        self._vtable_cache: dict[str, dict[str, Method]] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_class(self, cls: ClassDef) -> ClassDef:
+        if cls.name in self.classes:
+            raise ValueError(f"duplicate class {cls.name!r}")
+        self.classes[cls.name] = cls
+        self._layout_cache.clear()
+        self._vtable_cache.clear()
+        return cls
+
+    def add_method(self, method: Method) -> Method:
+        key = method.qualified_name
+        if method.owner:
+            self.classes[method.owner].methods[method.name] = method
+            self._vtable_cache.clear()
+        else:
+            if key in self.methods:
+                raise ValueError(f"duplicate method {key!r}")
+            self.methods[key] = method
+        return method
+
+    # -- resolution -------------------------------------------------------
+    def field_layout(self, class_name: str) -> dict[str, int]:
+        """Field name -> slot index, superclass fields first."""
+        cached = self._layout_cache.get(class_name)
+        if cached is not None:
+            return cached
+        cls = self.classes[class_name]
+        layout: dict[str, int] = {}
+        if cls.super_name:
+            layout.update(self.field_layout(cls.super_name))
+        for name in cls.fields:
+            if name not in layout:
+                layout[name] = len(layout)
+        self._layout_cache[class_name] = layout
+        return layout
+
+    def vtable(self, class_name: str) -> dict[str, Method]:
+        """Method name -> most-derived implementation for the class."""
+        cached = self._vtable_cache.get(class_name)
+        if cached is not None:
+            return cached
+        cls = self.classes[class_name]
+        table: dict[str, Method] = {}
+        if cls.super_name:
+            table.update(self.vtable(cls.super_name))
+        table.update(cls.methods)
+        self._vtable_cache[class_name] = table
+        return table
+
+    def resolve_static(self, name: str) -> Method:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(f"no static method named {name!r}") from None
+
+    def resolve_virtual(self, class_name: str, method_name: str) -> Method:
+        table = self.vtable(class_name)
+        try:
+            return table[method_name]
+        except KeyError:
+            raise KeyError(
+                f"class {class_name!r} has no method {method_name!r}"
+            ) from None
+
+    def all_methods(self) -> list[Method]:
+        """Every method in the program (static first, then per class)."""
+        out = list(self.methods.values())
+        for cls in self.classes.values():
+            out.extend(cls.methods.values())
+        return out

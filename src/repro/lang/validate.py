@@ -1,0 +1,150 @@
+"""Static validation of guest programs.
+
+Catches malformed bytecode before it reaches the interpreter or compiler:
+out-of-range branch targets, reads of never-written registers, references to
+unknown classes/methods/fields, fallthrough off the end of a method, and
+conditions illegal for the opcode.  Run it once per program in tests and at
+VM load time.
+"""
+
+from __future__ import annotations
+
+from .bytecode import (
+    CONDITIONS,
+    Instr,
+    Method,
+    Op,
+    PRODUCES,
+    Program,
+)
+
+
+class ValidationError(Exception):
+    """A structural problem in guest bytecode."""
+
+
+def validate_program(program: Program) -> None:
+    """Validate every method in ``program``; raise :class:`ValidationError`."""
+    if program.entry is not None and program.entry not in program.methods:
+        raise ValidationError(f"entry point {program.entry!r} is not a static method")
+    for cls in program.classes.values():
+        if cls.super_name is not None and cls.super_name not in program.classes:
+            raise ValidationError(
+                f"class {cls.name!r} extends unknown class {cls.super_name!r}"
+            )
+    # Detect inheritance cycles.
+    for cls in program.classes.values():
+        seen = set()
+        cursor: str | None = cls.name
+        while cursor is not None:
+            if cursor in seen:
+                raise ValidationError(f"inheritance cycle through {cursor!r}")
+            seen.add(cursor)
+            cursor = program.classes[cursor].super_name
+    for method in program.all_methods():
+        validate_method(program, method)
+
+
+def validate_method(program: Program, method: Method) -> None:
+    """Validate one method within its program."""
+    where = method.qualified_name
+    instrs = method.instrs
+    if not instrs:
+        raise ValidationError(f"{where}: empty method body")
+    if instrs[-1].op not in (Op.RET, Op.JMP):
+        raise ValidationError(f"{where}: control can fall off the end")
+    for pc, instr in enumerate(instrs):
+        _validate_instr(program, method, pc, instr)
+    _check_register_flow(method)
+
+
+def _validate_instr(program: Program, method: Method, pc: int, instr: Instr) -> None:
+    where = f"{method.qualified_name}@{pc}"
+    if instr.op in (Op.JMP, Op.BR):
+        if instr.target is None or not 0 <= instr.target < len(method.instrs):
+            raise ValidationError(f"{where}: branch target {instr.target} out of range")
+    if instr.op == Op.BR and instr.cond not in CONDITIONS:
+        raise ValidationError(f"{where}: bad condition {instr.cond!r}")
+    if instr.op in PRODUCES and instr.dst is None:
+        raise ValidationError(f"{where}: {instr.op.value} requires a destination")
+    if instr.op == Op.NEW:
+        if instr.cls not in program.classes:
+            raise ValidationError(f"{where}: unknown class {instr.cls!r}")
+    if instr.op in (Op.GETF, Op.PUTF) and not instr.fieldname:
+        raise ValidationError(f"{where}: field access without a field name")
+    if instr.op == Op.CALL:
+        if instr.method not in program.methods:
+            raise ValidationError(f"{where}: unknown static method {instr.method!r}")
+        callee = program.methods[instr.method]
+        if len(instr.args) != callee.num_params:
+            raise ValidationError(
+                f"{where}: {instr.method} expects {callee.num_params} args, got {len(instr.args)}"
+            )
+    if instr.op == Op.VCALL:
+        if not instr.args or instr.args[0] != instr.a:
+            raise ValidationError(f"{where}: virtual call receiver must be args[0]")
+        if not any(
+            instr.method in program.vtable(name) for name in program.classes
+        ):
+            raise ValidationError(
+                f"{where}: no class defines virtual method {instr.method!r}"
+            )
+    for reg in _reads(instr) + _writes(instr):
+        if reg < 0 or reg >= max(method.num_regs, method.num_params):
+            raise ValidationError(f"{where}: register r{reg} out of range")
+
+
+def _reads(instr: Instr) -> list[int]:
+    regs = [r for r in (instr.a, instr.b, instr.c) if r is not None]
+    regs.extend(instr.args)
+    if instr.op == Op.RET and instr.a is None:
+        return []
+    return regs
+
+
+def _writes(instr: Instr) -> list[int]:
+    return [instr.dst] if (instr.op in PRODUCES and instr.dst is not None) else []
+
+
+def _check_register_flow(method: Method) -> None:
+    """Forward dataflow: every read must be reachable from some write.
+
+    A conservative 'definitely unassigned' analysis: registers written on
+    *no* path to a read are flagged.  Parameters start defined.
+    """
+    n = len(method.instrs)
+    num_regs = max(method.num_regs, method.num_params, 1)
+    defined_in: list[set[int] | None] = [None] * n
+    params = set(range(method.num_params))
+
+    worklist = [(0, params)]
+    while worklist:
+        pc, defs = worklist.pop()
+        if pc >= n:
+            continue
+        known = defined_in[pc]
+        if known is not None and defs >= known:
+            # No new definitions to propagate; meet is intersection, so a
+            # superset adds nothing.
+            if known == known & defs:
+                continue
+        defined_in[pc] = defs if known is None else (known & defs)
+        current = defined_in[pc]
+        assert current is not None
+        instr = method.instrs[pc]
+        for reg in _reads(instr):
+            if reg not in current:
+                raise ValidationError(
+                    f"{method.qualified_name}@{pc}: register r{reg} may be read "
+                    "before it is written"
+                )
+        new_defs = current | set(_writes(instr))
+        if instr.op == Op.RET:
+            continue
+        if instr.op == Op.JMP:
+            worklist.append((instr.target, new_defs))
+        elif instr.op == Op.BR:
+            worklist.append((instr.target, new_defs))
+            worklist.append((pc + 1, new_defs))
+        else:
+            worklist.append((pc + 1, new_defs))

@@ -1,0 +1,38 @@
+"""Classical optimization passes (non-speculative formulations)."""
+
+from .constfold import fold_constants
+from .dce import eliminate_dead_code
+from .gvn import value_number
+from .inline import (
+    InlineConfig,
+    InlineResult,
+    InlinedMethod,
+    Inliner,
+    un_inline,
+)
+from .loadelim import eliminate_loads
+from .pipeline import PipelineStats, optimize
+from .simplify import simplify_cfg
+from .transform import isolate_op_in_block, scale_counts, split_block_after
+from .uses import UseTracker, compute_uses, replace_all_uses
+
+__all__ = [
+    "InlineConfig",
+    "InlineResult",
+    "InlinedMethod",
+    "Inliner",
+    "PipelineStats",
+    "UseTracker",
+    "compute_uses",
+    "eliminate_dead_code",
+    "eliminate_loads",
+    "fold_constants",
+    "isolate_op_in_block",
+    "optimize",
+    "replace_all_uses",
+    "scale_counts",
+    "simplify_cfg",
+    "split_block_after",
+    "un_inline",
+    "value_number",
+]

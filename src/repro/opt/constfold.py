@@ -1,0 +1,194 @@
+"""Constant folding, algebraic simplification, and check elimination.
+
+This is the pass that performs the paper's Figure 3 transformation: after
+superblock-style replication the second ``++i`` is constant-folded into the
+first, and statically-satisfiable checks disappear.  It is deliberately a
+*non-speculative* formulation — inside atomic regions it becomes speculative
+purely because region formation already removed the cold paths.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Graph
+from ..ir.ops import ARITH_KINDS, Kind, Node
+from ..runtime.interpreter import guest_div, guest_mod, wrap_int
+from ..runtime.errors import GuestArithmeticError
+from .uses import UseTracker
+
+_FOLDERS = {
+    Kind.ADD: lambda a, b: wrap_int(a + b),
+    Kind.SUB: lambda a, b: wrap_int(a - b),
+    Kind.MUL: lambda a, b: wrap_int(a * b),
+    Kind.DIV: guest_div,
+    Kind.MOD: guest_mod,
+    Kind.AND: lambda a, b: wrap_int(a & b),
+    Kind.OR: lambda a, b: wrap_int(a | b),
+    Kind.XOR: lambda a, b: wrap_int(a ^ b),
+    Kind.SHL: lambda a, b: wrap_int(a << (b & 63)),
+    Kind.SHR: lambda a, b: wrap_int(a >> (b & 63)),
+}
+
+#: Node kinds whose result is provably non-null.
+_NON_NULL_KINDS = frozenset({Kind.NEW, Kind.NEWARR})
+
+
+def fold_constants(graph: Graph) -> int:
+    """Worklist-driven folding; returns the number of nodes rewritten."""
+    tracker = UseTracker(graph)
+    worklist: list[Node] = [
+        node for block in graph.blocks for node in block.all_nodes()
+    ]
+    folded = 0
+    while worklist:
+        node = worklist.pop()
+        if node.block is None:  # already removed
+            continue
+        replacement = _simplify(node, graph)
+        if replacement is None:
+            removed = _try_remove_check(node)
+            if removed:
+                folded += 1
+            continue
+        block = node.block
+        if replacement.block is None:
+            # Fresh constant: place it right where the folded node was.
+            index = block.ops.index(node)
+            block.insert_op(index, replacement)
+            tracker.note_new_node(replacement)
+        users = tracker.replace(node, replacement)
+        block.remove_op(node)
+        worklist.extend(users)
+        folded += 1
+    folded += _fold_branches_to_jumps(graph)
+    return folded
+
+
+def _const_of(node: Node) -> int | None:
+    return node.attrs["imm"] if node.kind is Kind.CONST else None
+
+
+def _simplify(node: Node, graph: Graph) -> Node | None:
+    """Return a replacement value for ``node`` (existing node or new CONST)."""
+    kind = node.kind
+    if kind in ARITH_KINDS:
+        a, b = node.operands
+        ca, cb = _const_of(a), _const_of(b)
+        if ca is not None and cb is not None:
+            try:
+                return Node(Kind.CONST, imm=_FOLDERS[kind](ca, cb))
+            except GuestArithmeticError:
+                return None  # leave the trap to runtime semantics
+        # Algebraic identities (safe over wrapped 64-bit ints).
+        if kind is Kind.ADD:
+            if ca == 0:
+                return b
+            if cb == 0:
+                return a
+        elif kind is Kind.SUB:
+            if cb == 0:
+                return a
+            if a is b:
+                return Node(Kind.CONST, imm=0)
+        elif kind is Kind.MUL:
+            if ca == 1:
+                return b
+            if cb == 1:
+                return a
+            if ca == 0 or cb == 0:
+                return Node(Kind.CONST, imm=0)
+        elif kind is Kind.AND:
+            if a is b:
+                return a
+            if ca == 0 or cb == 0:
+                return Node(Kind.CONST, imm=0)
+            if ca == -1:
+                return b
+            if cb == -1:
+                return a
+        elif kind is Kind.OR:
+            if a is b:
+                return a
+            if ca == 0:
+                return b
+            if cb == 0:
+                return a
+        elif kind is Kind.XOR:
+            if a is b:
+                return Node(Kind.CONST, imm=0)
+            if ca == 0:
+                return b
+            if cb == 0:
+                return a
+        elif kind in (Kind.SHL, Kind.SHR):
+            if cb == 0:
+                return a
+        return None
+    if kind is Kind.PHI:
+        first = node.operands[0] if node.operands else None
+        if first is not None and all(
+            op is first or op is node for op in node.operands
+        ):
+            return first
+    if kind is Kind.ALEN and node.operands[0].kind is Kind.NEWARR:
+        return node.operands[0].operands[0]  # length of fresh array
+    if kind is Kind.CLASSOF and node.operands[0].kind is Kind.NEW:
+        return Node(Kind.CONST_CLASS, cls=node.operands[0].attrs["cls"])
+    return None
+
+
+def _try_remove_check(node: Node) -> bool:
+    """Delete checks that are statically satisfied."""
+    kind = node.kind
+    block = node.block
+    if block is None:
+        return False
+    if kind is Kind.CHECK_NULL:
+        ref = node.operands[0]
+        if ref.kind in _NON_NULL_KINDS:
+            block.remove_op(node)
+            return True
+    elif kind is Kind.CHECK_DIV0:
+        value = _const_of(node.operands[0])
+        if value is not None and value != 0:
+            block.remove_op(node)
+            return True
+    elif kind is Kind.CHECK_BOUNDS:
+        length, index = (_const_of(op) for op in node.operands)
+        if length is not None and index is not None and 0 <= index < length:
+            block.remove_op(node)
+            return True
+    elif kind is Kind.CHECK_CLASS:
+        got = node.operands[0]
+        if got.kind is Kind.CONST_CLASS and got.attrs["cls"] == node.attrs["cls"]:
+            block.remove_op(node)
+            return True
+    elif kind is Kind.ASSERT:
+        from ..runtime.interpreter import compare
+
+        a, b = node.operands
+        values = []
+        for op in (a, b):
+            if op.kind is Kind.CONST:
+                values.append(op.attrs["imm"])
+            elif op.kind is Kind.CONST_NULL:
+                values.append(None)
+            else:
+                return False
+        if not compare(node.attrs["cond"], values[0], values[1]):
+            block.remove_op(node)  # provably never fires
+            return True
+    return False
+
+
+def _fold_branches_to_jumps(graph: Graph) -> int:
+    """Constant branches are finished off by simplify_cfg; count them here
+    so pipelines know another simplify round is worthwhile."""
+    from .simplify import _branch_constant
+
+    count = 0
+    for block in graph.blocks:
+        term = block.terminator
+        if term is not None and term.kind is Kind.BRANCH:
+            if _branch_constant(term) is not None:
+                count += 1
+    return count

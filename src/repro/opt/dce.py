@@ -1,0 +1,56 @@
+"""Dead code elimination.
+
+Mark-and-sweep from effectful roots.  As the paper prescribes for asserts
+(§4): "Only dead code elimination needs to be informed that these operations
+are essential and should not be removed" — ASSERT is a root here despite
+producing no value, as are safety checks (they trap), stores, calls,
+monitor and region operations, and safepoints.
+
+Unused pure computations, loads, phis, and unused allocations (our guest has
+no finalizers or allocation hooks) are swept.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Graph
+from ..ir.ops import Kind, Node
+
+#: Kinds that are always live regardless of uses.
+_ROOT_KINDS = frozenset({
+    Kind.PUTFIELD, Kind.ASTORE, Kind.CALL, Kind.VCALL,
+    Kind.MONITOR_ENTER, Kind.MONITOR_EXIT, Kind.SLE_ENTER,
+    Kind.CHECK_NULL, Kind.CHECK_BOUNDS, Kind.CHECK_DIV0, Kind.CHECK_CLASS,
+    Kind.ASSERT, Kind.AREGION_END, Kind.SAFEPOINT,
+})
+
+
+def eliminate_dead_code(graph: Graph) -> int:
+    """Remove unused value computations; returns the number removed."""
+    live: set[int] = set()
+    worklist: list[Node] = []
+
+    for block in graph.blocks:
+        for node in block.ops:
+            if node.kind in _ROOT_KINDS:
+                worklist.append(node)
+        if block.terminator is not None:
+            worklist.append(block.terminator)
+
+    while worklist:
+        node = worklist.pop()
+        if node.id in live:
+            continue
+        live.add(node.id)
+        worklist.extend(node.operands)
+
+    removed = 0
+    for block in graph.blocks:
+        for node in list(block.phis):
+            if node.id not in live:
+                block.remove_op(node)
+                removed += 1
+        for node in list(block.ops):
+            if node.id not in live and node.kind not in _ROOT_KINDS:
+                block.remove_op(node)
+                removed += 1
+    return removed

@@ -1,0 +1,123 @@
+"""Global value numbering (dominator-tree scoped).
+
+Deduplicates pure computations, safety checks, and region asserts: a check
+dominated by an identical check is redundant and removed, exactly the
+mechanism by which the paper's atomic regions eliminate "67 branches with
+redundant conditions" (Figure 1) — once cold paths are asserts, the second
+``check_null(chunk)`` / ``c_length = chunk.length`` of Figure 3(b) is a
+textbook dominated redundancy.
+
+Pure expressions can never be killed, so dominator scoping is sound for
+them.  Memory loads need path-sensitive kill information and are handled by
+:mod:`repro.opt.loadelim` instead.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.dom import dominator_tree
+from ..ir.ops import (
+    CHECK_KINDS,
+    COMMUTATIVE_KINDS,
+    Kind,
+    Node,
+    PURE_KINDS,
+)
+from .uses import UseTracker
+
+#: Kinds that participate in value numbering as *values*.
+_NUMBERED_VALUE_KINDS = (PURE_KINDS - {Kind.PARAM}) | {Kind.CONST, Kind.CONST_NULL}
+
+#: Kinds numbered as *facts*: a dominated duplicate is simply deleted.
+_NUMBERED_FACT_KINDS = CHECK_KINDS | {Kind.ASSERT}
+
+
+def _value_key(node: Node) -> tuple | None:
+    kind = node.kind
+    if kind is Kind.CONST:
+        return (kind, node.attrs["imm"])
+    if kind is Kind.CONST_NULL:
+        return (kind,)
+    if kind is Kind.CONST_CLASS:
+        return (kind, node.attrs["cls"])
+    if kind in _NUMBERED_VALUE_KINDS:
+        operand_ids = [op.id for op in node.operands]
+        if kind in COMMUTATIVE_KINDS:
+            operand_ids.sort()
+        return (kind, tuple(operand_ids))
+    return None
+
+
+def _fact_key(node: Node) -> tuple | None:
+    kind = node.kind
+    if kind not in _NUMBERED_FACT_KINDS:
+        return None
+    operand_ids = tuple(op.id for op in node.operands)
+    if kind is Kind.ASSERT:
+        return (kind, node.attrs["cond"], operand_ids)
+    if kind is Kind.CHECK_CLASS:
+        return (kind, node.attrs["cls"], operand_ids)
+    return (kind, operand_ids)
+
+
+class _ScopedTable:
+    """Hash table with dominator-scope push/pop."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Node] = {}
+        self._undo: list[list[tuple[tuple, Node | None]]] = []
+
+    def push(self) -> None:
+        self._undo.append([])
+
+    def pop(self) -> None:
+        for key, old in reversed(self._undo.pop()):
+            if old is None:
+                del self._table[key]
+            else:
+                self._table[key] = old
+
+    def lookup(self, key: tuple) -> Node | None:
+        return self._table.get(key)
+
+    def insert(self, key: tuple, node: Node) -> None:
+        self._undo[-1].append((key, self._table.get(key)))
+        self._table[key] = node
+
+
+def value_number(graph: Graph) -> int:
+    """Run GVN over ``graph``; returns the number of nodes eliminated."""
+    tree = dominator_tree(graph)
+    tracker = UseTracker(graph)
+    table = _ScopedTable()
+    removed = 0
+
+    def visit(block: Block) -> int:
+        count = 0
+        table.push()
+        for node in list(block.ops):
+            key = _value_key(node)
+            if key is not None:
+                existing = table.lookup(key)
+                if existing is not None:
+                    tracker.replace(node, existing)
+                    block.remove_op(node)
+                    count += 1
+                else:
+                    table.insert(key, node)
+                continue
+            fact = _fact_key(node)
+            if fact is not None:
+                if table.lookup(fact) is not None:
+                    block.remove_op(node)
+                    count += 1
+                else:
+                    table.insert(fact, node)
+        for child in tree.children[block.id]:
+            count += visit(child)
+        table.pop()
+        return count
+
+    if tree.order:
+        removed = visit(tree.order[0])
+    return removed

@@ -1,0 +1,358 @@
+"""Profile-guided method inlining (with reversible bookkeeping).
+
+The inliner serves two masters:
+
+- the **baseline** compiler uses it exactly as a classic JVM server
+  compiler would: inline small hot callees, guard virtual calls with a
+  receiver-class test and an out-of-line fallback call;
+- the **atomic-region** compiler uses it for the paper's Step 1,
+  "aggressively inline methods" (§4), with a threshold several times
+  larger, relying on region formation to *un-inline* any method that is not
+  fully encapsulated in an atomic region (Step 5 / Algorithm 1's pruning) —
+  which is why every inline records enough state to be reversed.
+
+Partial inlining falls out: keep the hot path of an aggressively-inlined
+callee inside the region, assert away its cold paths, and restore the real
+call on the non-speculative path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.build import build_ir
+from ..ir.cfg import Block, Graph
+from ..ir.ops import Kind, Node
+from ..lang.bytecode import Method, Program
+from ..runtime.profile import ProfileStore
+from .transform import isolate_op_in_block, scale_counts
+from .uses import replace_all_uses
+
+
+@dataclass
+class InlineConfig:
+    """Inlining policy knobs."""
+
+    #: max callee size in bytecode instructions.
+    threshold: int = 40
+    #: multiplier applied for the paper's "aggressive inlining" configs.
+    aggressive_factor: int = 5
+    aggressive: bool = False
+    max_depth: int = 4
+    #: stop growing the caller beyond this many HIR ops.
+    budget_ops: int = 4000
+    #: receiver share needed to guard-inline a virtual call.
+    mono_share: float = 0.99
+    #: call sites (method, bytecode_pc) to treat as monomorphic regardless
+    #: of profile — the paper's §6.1 jython `getitem` experiment.
+    force_monomorphic: frozenset = frozenset()
+
+    def effective_threshold(self) -> int:
+        return self.threshold * (self.aggressive_factor if self.aggressive else 1)
+
+
+@dataclass
+class InlinedMethod:
+    """Bookkeeping for one inlined call site (reversible)."""
+
+    callee: Method
+    ctx: tuple                      # inline context of the spliced blocks
+    call_block: Block               # block that held (and can re-hold) the call
+    continuation: Block             # control continues here after the callee
+    entry_block: Block              # first spliced callee block
+    saved_call: Node                # original CALL/VCALL node, detached
+    result_phi: Node | None         # phi merging return values (in continuation)
+    fallback_block: Block | None    # virtual-guard fallback (None for static)
+    is_virtual: bool = False
+
+    def blocks_of(self, graph: Graph) -> list[Block]:
+        """All blocks belonging to this inline (nested inlines included)."""
+        return [
+            b for b in graph.blocks
+            if len(b.inline_ctx) >= len(self.ctx)
+            and b.inline_ctx[: len(self.ctx)] == self.ctx
+            and b.region_id is None
+        ]
+
+
+@dataclass
+class InlineResult:
+    inlined: list[InlinedMethod] = field(default_factory=list)
+    rejected_polymorphic: list[tuple[str, int]] = field(default_factory=list)
+
+    def by_innermost_first(self) -> list[InlinedMethod]:
+        return sorted(self.inlined, key=lambda im: len(im.ctx), reverse=True)
+
+
+class Inliner:
+    """Worklist inliner over a caller graph."""
+
+    def __init__(
+        self,
+        program: Program,
+        profiles: ProfileStore,
+        config: InlineConfig | None = None,
+    ) -> None:
+        self.program = program
+        self.profiles = profiles
+        self.config = config if config is not None else InlineConfig()
+        self._site_counter = 0
+
+    # -- public -----------------------------------------------------------
+    def run(self, graph: Graph, root_method: Method) -> InlineResult:
+        """Inline eligible call sites in ``graph`` until a fixpoint."""
+        result = InlineResult()
+        changed = True
+        while changed and graph.node_count() < self.config.budget_ops:
+            changed = False
+            for block in list(graph.blocks):
+                if block.region_id is not None:
+                    continue
+                for node in list(block.ops):
+                    if node.kind not in (Kind.CALL, Kind.VCALL):
+                        continue
+                    if node.block is None:
+                        continue
+                    inlined = self._try_inline(graph, root_method, node, result)
+                    if inlined:
+                        changed = True
+                        break
+                if changed:
+                    break
+        return result
+
+    # -- policy -------------------------------------------------------------
+    def _context_chain(self, block: Block, root: Method) -> list[str]:
+        names = [root.qualified_name]
+        names.extend(name for (_, name) in block.inline_ctx)
+        return names
+
+    def _try_inline(
+        self, graph: Graph, root: Method, call: Node, result: InlineResult
+    ) -> bool:
+        cfg = self.config
+        block = call.block
+        if block.count <= 0:
+            return False
+        if len(block.inline_ctx) >= cfg.max_depth:
+            return False
+
+        if call.kind is Kind.CALL:
+            callee = self.program.resolve_static(call.attrs["method"])
+            expected_cls = None
+        else:
+            site = self._site_profile(call)
+            forced = (
+                call.attrs.get("src_method"),
+                call.bytecode_pc,
+            ) in cfg.force_monomorphic
+            if site is None:
+                return False
+            dominant, share = site.dominant()
+            if dominant is None:
+                return False
+            # The default partial inliner "will not partially inline methods
+            # containing polymorphic calls" (paper §6.1); the aggressive
+            # configuration trusts the class guard as long as the dominant
+            # receiver share is high enough (rare other receivers become
+            # guard failures — aborts — instead of inline blockers).
+            polymorphic_block = site.appears_polymorphic() and not cfg.aggressive
+            if not forced and (share < cfg.mono_share or polymorphic_block):
+                result.rejected_polymorphic.append(
+                    (call.attrs["method"], call.bytecode_pc or -1)
+                )
+                return False
+            expected_cls = dominant
+            callee = self.program.resolve_virtual(dominant, call.attrs["method"])
+
+        if len(callee.instrs) > cfg.effective_threshold():
+            return False
+        if callee.qualified_name in self._context_chain(block, root):
+            return False  # recursion
+
+        self._inline_site(graph, call, callee, expected_cls, result)
+        return True
+
+    def _site_profile(self, call: Node):
+        src = call.attrs.get("src_method")
+        if src is None or call.bytecode_pc is None:
+            return None
+        if src not in self.profiles:
+            return None
+        return self.profiles.method(src).call_sites.get(call.bytecode_pc)
+
+    # -- mechanics ---------------------------------------------------------
+    def _inline_site(
+        self,
+        graph: Graph,
+        call: Node,
+        callee: Method,
+        expected_cls: str | None,
+        result: InlineResult,
+    ) -> None:
+        self._site_counter += 1
+        site_id = self._site_counter
+        call_block, cont = isolate_op_in_block(graph, call)
+        ctx = call_block.inline_ctx + ((site_id, callee.qualified_name),)
+
+        # Build a fresh copy of the callee body with its own profile.
+        callee_prof = (
+            self.profiles.method(callee.qualified_name)
+            if callee.qualified_name in self.profiles
+            else None
+        )
+        body = build_ir(callee, callee_prof)
+        for b in body.blocks:
+            b.inline_ctx = ctx
+            for node in b.ops:
+                if node.kind in (Kind.CALL, Kind.VCALL):
+                    node.attrs.setdefault("src_method", callee.qualified_name)
+        if callee_prof is not None and callee_prof.invocations > 0:
+            scale_counts(body.blocks, call_block.count / callee_prof.invocations)
+
+        # Substitute arguments for PARAM nodes.
+        args = list(call.operands)
+        entry = body.entry
+        assert entry is not None
+        for node in list(entry.ops):
+            if node.kind is Kind.PARAM:
+                replace_all_uses(body, node, args[node.attrs["index"]])
+                entry.remove_op(node)
+
+        graph.blocks.extend(body.blocks)
+
+        # Result phi in the continuation (created while cont has no preds).
+        graph.replace_succ(call_block, 0, entry)  # call_block -> callee entry
+        result_phi = Node(Kind.PHI)
+        result_phi.block = cont
+        cont.phis.append(result_phi)
+
+        # RETURNs become jumps to the continuation feeding the phi.
+        for b in list(body.blocks):
+            term = b.terminator
+            if term is None or term.kind is not Kind.RETURN:
+                continue
+            value = term.operands[0] if term.operands else None
+            if value is None:
+                value = Node(Kind.CONST_NULL)
+                b.append(value)
+            graph.clear_terminator(b)
+            graph.set_terminator(b, Node(Kind.JUMP), [])
+            graph._link(b, cont, phi_values=[result_phi_value(cont, result_phi, value)])
+
+        # Detach the call op and route its uses through the phi.
+        call_block.remove_op(call)
+        replace_all_uses(graph, call, result_phi)
+
+        fallback_block = None
+        if expected_cls is not None:
+            fallback_block = self._install_guard(
+                graph, call, call_block, cont, result_phi, entry, expected_cls
+            )
+
+        result.inlined.append(
+            InlinedMethod(
+                callee=callee,
+                ctx=ctx,
+                call_block=call_block,
+                continuation=cont,
+                entry_block=entry,
+                saved_call=call,
+                result_phi=result_phi,
+                fallback_block=fallback_block,
+                is_virtual=expected_cls is not None,
+            )
+        )
+
+    def _install_guard(
+        self,
+        graph: Graph,
+        call: Node,
+        call_block: Block,
+        cont: Block,
+        result_phi: Node,
+        entry: Block,
+        expected_cls: str,
+    ) -> Block:
+        """Turn ``call_block`` into a class-guard diamond.
+
+        Hot side: the inlined body.  Cold side: a fallback block performing
+        the original virtual call.  Edge counts make the fallback cold so
+        region formation converts the guard into an assert.
+        """
+        receiver = call.operands[0]
+        classof = Node(Kind.CLASSOF, [receiver], bytecode_pc=call.bytecode_pc)
+        expected = Node(Kind.CONST_CLASS, cls=expected_cls)
+        call_block.append(expected)
+        call_block.append(classof)
+
+        fallback = graph.new_block(src_pc=call_block.src_pc)
+        fallback.inline_ctx = call_block.inline_ctx
+        fallback.count = 0.0
+        clone = Node(
+            Kind.VCALL,
+            list(call.operands),
+            bytecode_pc=call.bytecode_pc,
+            **{k: v for k, v in call.attrs.items()},
+        )
+        fallback.append(clone)
+
+        # call_block currently JUMPs to the callee entry; replace with the
+        # guard branch: eq -> inline path, ne -> fallback.
+        graph.clear_terminator(call_block)
+        branch = Node(Kind.BRANCH, [classof, expected], cond="eq",
+                      bytecode_pc=call.bytecode_pc)
+        branch.attrs["edge_counts"] = (call_block.count, 0.0)
+        graph.set_terminator(call_block, branch, [])
+        graph._link(call_block, entry)
+        graph._link(call_block, fallback)
+        graph.set_terminator(fallback, Node(Kind.JUMP), [])
+        graph._link(fallback, cont, phi_values=[clone])
+        return fallback
+
+
+def result_phi_value(cont: Block, phi: Node, value: Node) -> Node:
+    """Identity helper kept for readability at the call site."""
+    return value
+
+
+def un_inline(graph: Graph, im: InlinedMethod) -> None:
+    """Reverse one inline: restore the saved call on the original blocks.
+
+    Used by region formation Step 5 ("replace inlined methods on
+    non-speculative paths with calls") and by Algorithm 1's pruning of
+    methods that cannot be fully encapsulated.  Speculative *replicas* of
+    the callee body (blocks with ``region_id`` set) are untouched.
+    """
+    call_block = im.call_block
+    cont = im.continuation
+
+    graph.clear_terminator(call_block)
+    # Drop guard scaffolding (CLASSOF / CONST_CLASS) if present.
+    for node in list(call_block.ops):
+        if node.kind in (Kind.CLASSOF, Kind.CONST_CLASS):
+            call_block.remove_op(node)
+    im.saved_call.block = call_block
+    call_block.ops.append(im.saved_call)
+
+    # Route the continuation's result phi (wherever it now lives) from the
+    # restored call.  Region formation may have interposed a region entry
+    # block in front of `cont`; follow the forwarding pointer if so.
+    target = cont if cont.region_entry is None else cont.region_entry
+    phi_values = [
+        im.saved_call if phi is im.result_phi else _reuse_operand(phi)
+        for phi in target.phis
+    ]
+    graph.set_terminator(call_block, Node(Kind.JUMP), [])
+    graph._link(call_block, target, phi_values=phi_values)
+    graph.prune_unreachable()
+
+
+def _reuse_operand(phi: Node) -> Node:
+    """Fallback phi value for an edge we re-add during un-inlining.
+
+    Only the result phi is expected at the join; any other phi must already
+    be degenerate (this indicates a formation-order bug otherwise, which the
+    verifier will catch since the reused operand may not dominate).
+    """
+    return phi.operands[0]

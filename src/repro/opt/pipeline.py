@@ -1,0 +1,61 @@
+"""The optimization pipeline: ordering and iteration of passes.
+
+Mirrors the paper's framing: the passes themselves are non-speculative
+formulations (GVN, constant folding, load elimination, DCE, CFG
+simplification); when region formation has already replaced cold paths with
+asserts, running this unchanged pipeline performs speculative,
+path-qualified optimization "for free" (§4: "no optimizations needed to be
+modified to start exploiting the optimization opportunity exposed by the
+atomic regions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import Graph
+from ..ir.verify import verify_graph
+from .constfold import fold_constants
+from .dce import eliminate_dead_code
+from .gvn import value_number
+from .loadelim import eliminate_loads
+from .simplify import simplify_cfg
+
+
+@dataclass
+class PipelineStats:
+    """Counts of what each pass accomplished (for tests and reports)."""
+
+    folded: int = 0
+    numbered: int = 0
+    loads_removed: int = 0
+    dead_removed: int = 0
+    cfg_rounds: int = 0
+    iterations: int = 0
+    per_round: list[dict] = field(default_factory=list)
+
+
+def optimize(graph: Graph, max_rounds: int = 4, verify: bool = False) -> PipelineStats:
+    """Run the full pass pipeline to a (bounded) fixpoint."""
+    stats = PipelineStats()
+    for _ in range(max_rounds):
+        round_stats = {
+            "folded": fold_constants(graph),
+            "cfg": simplify_cfg(graph),
+            "numbered": value_number(graph),
+            "loads": eliminate_loads(graph),
+            "dead": eliminate_dead_code(graph),
+        }
+        round_stats["cfg"] += simplify_cfg(graph)
+        if verify:
+            verify_graph(graph)
+        stats.folded += round_stats["folded"]
+        stats.cfg_rounds += round_stats["cfg"]
+        stats.numbered += round_stats["numbered"]
+        stats.loads_removed += round_stats["loads"]
+        stats.dead_removed += round_stats["dead"]
+        stats.iterations += 1
+        stats.per_round.append(round_stats)
+        if not any(round_stats.values()):
+            break
+    return stats

@@ -1,0 +1,174 @@
+"""CFG simplification: constant branch folding, block merging, jump threading.
+
+Run between other passes to keep the graph small; after constant folding it
+is what actually deletes the cold sides of branches whose conditions became
+constant (the paper's observation that, inside atomic regions, "elimination
+of cold paths enabled the compiler to simplify an indirect branch to a
+conditional branch, eliminate branches via constant propagation previously
+inhibited by cold control flow", §6).
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.ops import Kind, Node
+from ..runtime.interpreter import compare
+from .uses import replace_all_uses
+
+
+def simplify_cfg(graph: Graph) -> int:
+    """Iterate local simplifications to a fixpoint; returns change count."""
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        changed |= bool(_fold_constant_branches(graph))
+        changed |= bool(_same_target_branches(graph))
+        changed |= bool(graph.prune_unreachable())
+        changed |= bool(_merge_straightline(graph))
+        changed |= bool(_thread_empty_blocks(graph))
+        changed |= bool(_simplify_single_pred_phis(graph))
+        if changed:
+            total += 1
+    return total
+
+
+def _branch_constant(term: Node) -> bool | None:
+    """Statically evaluate a BRANCH's condition if possible."""
+    a, b = term.operands
+    const_a = a.kind is Kind.CONST or a.kind is Kind.CONST_NULL
+    const_b = b.kind is Kind.CONST or b.kind is Kind.CONST_NULL
+    if const_a and const_b:
+        va = a.attrs.get("imm") if a.kind is Kind.CONST else None
+        vb = b.attrs.get("imm") if b.kind is Kind.CONST else None
+        return compare(term.attrs["cond"], va, vb)
+    if a is b and term.attrs["cond"] in ("eq", "le", "ge"):
+        return True
+    if a is b and term.attrs["cond"] in ("ne", "lt", "gt"):
+        return False
+    return None
+
+
+def _fold_constant_branches(graph: Graph) -> int:
+    changed = 0
+    for block in list(graph.blocks):
+        term = block.terminator
+        if term is None or term.kind is not Kind.BRANCH:
+            continue
+        verdict = _branch_constant(term)
+        if verdict is None:
+            continue
+        index = 0 if verdict else 1
+        target = block.succs[index]
+        values = _edge_phi_values(block, index, target)
+        graph.clear_terminator(block)
+        jump = Node(Kind.JUMP, bytecode_pc=term.bytecode_pc)
+        graph.set_terminator(block, jump, [])
+        graph._link(block, target, phi_values=values)
+        changed += 1
+    return changed
+
+
+def _same_target_branches(graph: Graph) -> int:
+    """BRANCH with both successors equal (and equal phi inputs) -> JUMP."""
+    changed = 0
+    for block in list(graph.blocks):
+        term = block.terminator
+        if term is None or term.kind is not Kind.BRANCH:
+            continue
+        if block.succs[0] is not block.succs[1]:
+            continue
+        succ = block.succs[0]
+        values = _edge_phi_values(block, 0, succ)
+        other = _edge_phi_values(block, 1, succ)
+        if values != other:
+            continue  # the two edges feed different phi inputs
+        graph.clear_terminator(block)
+        graph.set_terminator(block, Node(Kind.JUMP, bytecode_pc=term.bytecode_pc), [])
+        graph._link(block, succ, phi_values=values)
+        changed += 1
+    return changed
+
+
+def _edge_phi_values(pred: Block, succ_index: int, succ: Block) -> list[Node]:
+    for pos, (p, idx) in enumerate(succ.preds):
+        if p is pred and idx == succ_index:
+            return [phi.operands[pos] for phi in succ.phis]
+    raise ValueError("edge not found")
+
+
+def _merge_straightline(graph: Graph) -> int:
+    """Merge B into A when A ends in JUMP->B and B has A as its only pred."""
+    changed = 0
+    for block in list(graph.blocks):
+        term = block.terminator
+        if term is None or term.kind is not Kind.JUMP:
+            continue
+        succ = block.succs[0]
+        if succ is graph.entry or succ is block or len(succ.preds) != 1:
+            continue
+        # Fold single-pred phis into direct references.
+        for phi in list(succ.phis):
+            replace_all_uses(graph, phi, phi.operands[0])
+            succ.phis.remove(phi)
+            phi.block = None
+        # Splice ops.
+        for node in succ.ops:
+            node.block = block
+        block.ops.extend(succ.ops)
+        succ.ops = []
+        # Move the terminator and edges.
+        succ_term = succ.terminator
+        succ_succs = list(succ.succs)
+        succ_phi_values = [
+            _edge_phi_values(succ, i, s) for i, s in enumerate(succ_succs)
+        ]
+        graph.clear_terminator(succ)
+        graph.clear_terminator(block)
+        graph.set_terminator(block, succ_term, [])
+        for target, values in zip(succ_succs, succ_phi_values):
+            graph._link(block, target, phi_values=values)
+        if block.count == 0:
+            block.count = succ.count
+        graph.blocks.remove(succ)
+        changed += 1
+    return changed
+
+
+def _thread_empty_blocks(graph: Graph) -> int:
+    """Bypass blocks that are empty except for a JUMP (no phis, no ops)."""
+    changed = 0
+    for block in list(graph.blocks):
+        if block is graph.entry or block.phis or block.ops:
+            continue
+        term = block.terminator
+        if term is None or term.kind is not Kind.JUMP:
+            continue
+        succ = block.succs[0]
+        if succ is block:
+            continue
+        values = _edge_phi_values(block, 0, succ)
+        # Retarget each pred edge straight to succ with the same phi values.
+        for pred, succ_index in list(block.preds):
+            if pred.terminator.kind is Kind.REGION_BEGIN:
+                continue  # keep region entry edges structurally intact
+            graph.replace_succ(pred, succ_index, succ, phi_values=list(values))
+            changed += 1
+    return changed
+
+
+def _simplify_single_pred_phis(graph: Graph) -> int:
+    """Phi in a single-pred block (or with all-same operands) -> operand."""
+    changed = 0
+    for block in graph.blocks:
+        for phi in list(block.phis):
+            if not phi.operands:
+                continue
+            first = phi.operands[0]
+            same = all(op is first or op is phi for op in phi.operands)
+            if len(block.preds) == 1 or same:
+                replace_all_uses(graph, phi, first)
+                block.phis.remove(phi)
+                phi.block = None
+                changed += 1
+    return changed

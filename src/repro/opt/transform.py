@@ -1,0 +1,77 @@
+"""CFG surgery shared by inlining and region formation."""
+
+from __future__ import annotations
+
+from ..ir.cfg import Block, Graph
+from ..ir.ops import Kind, Node
+
+
+def split_block_after(graph: Graph, block: Block, index: int) -> Block:
+    """Split ``block`` after ``ops[index]``; returns the continuation block.
+
+    The continuation inherits the terminator, out-edges (phi alignment in
+    successors is preserved by pointer-swapping the pred entries), profile
+    count, and context tags.  ``block`` is left terminator-less; the caller
+    must install one.
+    """
+    cont = graph.new_block(src_pc=block.src_pc)
+    cont.count = block.count
+    cont.inline_ctx = block.inline_ctx
+    cont.region_id = block.region_id
+
+    cont.ops = block.ops[index + 1:]
+    block.ops = block.ops[: index + 1]
+    for node in cont.ops:
+        node.block = cont
+
+    term = block.terminator
+    if term is not None:
+        term.block = cont
+        cont.terminator = term
+        block.terminator = None
+        cont.succs = block.succs
+        block.succs = []
+        # Pointer-swap pred entries in successors: edges keep their index.
+        for succ_index, succ in enumerate(cont.succs):
+            succ.preds = [
+                (cont, idx) if (p is block and idx == succ_index) else (p, idx)
+                for (p, idx) in succ.preds
+            ]
+    return cont
+
+
+def isolate_op_in_block(graph: Graph, node: Node) -> tuple[Block, Block]:
+    """Rearrange so ``node`` is the *only* op in its own block.
+
+    Returns ``(call_block, continuation)``.  Used by the inliner: an
+    isolated call block has exactly one in-edge and one out-edge, which
+    makes inlining — and, crucially for the paper's Step 5, *un*-inlining —
+    a local rewiring.
+    """
+    block = node.block
+    assert block is not None
+    index = block.ops.index(node)
+
+    cont = split_block_after(graph, block, index)
+    # Move the node itself into a dedicated block.
+    call_block = graph.new_block(src_pc=block.src_pc)
+    call_block.count = block.count
+    call_block.inline_ctx = block.inline_ctx
+    block.ops.pop()  # remove `node` from block
+    node.block = call_block
+    call_block.ops.append(node)
+
+    graph.set_terminator(block, Node(Kind.JUMP), [call_block])
+    graph.set_terminator(call_block, Node(Kind.JUMP), [cont])
+    return call_block, cont
+
+
+def scale_counts(blocks: list[Block], factor: float) -> None:
+    """Scale profile counts (blocks and branch edges) by ``factor``."""
+    for block in blocks:
+        block.count *= factor
+        term = block.terminator
+        if term is not None and "edge_counts" in term.attrs:
+            term.attrs["edge_counts"] = tuple(
+                c * factor for c in term.attrs["edge_counts"]
+            )

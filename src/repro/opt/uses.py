@@ -1,0 +1,53 @@
+"""Def-use utilities shared by optimization passes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..ir.cfg import Graph
+from ..ir.ops import Node
+
+
+def compute_uses(graph: Graph) -> dict[int, list[Node]]:
+    """Map each value node id to the list of nodes using it."""
+    uses: dict[int, list[Node]] = defaultdict(list)
+    for block in graph.blocks:
+        for node in block.all_nodes():
+            for operand in node.operands:
+                uses[operand.id].append(node)
+    return uses
+
+
+def replace_all_uses(graph: Graph, old: Node, new: Node) -> int:
+    """Replace every use of ``old`` with ``new``; returns replacement count."""
+    count = 0
+    for block in graph.blocks:
+        for node in block.all_nodes():
+            if old in node.operands:
+                node.operands = [new if op is old else op for op in node.operands]
+                count += 1
+    return count
+
+
+class UseTracker:
+    """Incrementally-maintained def-use chains for a worklist pass."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.uses: dict[int, list[Node]] = compute_uses(graph)
+
+    def users_of(self, node: Node) -> list[Node]:
+        return [u for u in self.uses.get(node.id, ()) if u.block is not None]
+
+    def replace(self, old: Node, new: Node) -> list[Node]:
+        """Rewrite uses of ``old`` to ``new``; returns the affected users."""
+        users = self.users_of(old)
+        for user in users:
+            user.operands = [new if op is old else op for op in user.operands]
+        self.uses.setdefault(new.id, []).extend(users)
+        self.uses[old.id] = []
+        return users
+
+    def note_new_node(self, node: Node) -> None:
+        for operand in node.operands:
+            self.uses.setdefault(operand.id, []).append(node)

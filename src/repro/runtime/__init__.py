@@ -1,0 +1,57 @@
+"""Runtime substrate: heap, monitors, profiles, and the tier-0 interpreter."""
+
+from .errors import (
+    BoundsError,
+    GuestArithmeticError,
+    GuestError,
+    MonitorStateError,
+    NullPointerError,
+    VMError,
+)
+from .heap import (
+    ARRAY_HEADER_BYTES,
+    GuestArray,
+    GuestObject,
+    Heap,
+    OBJECT_HEADER_BYTES,
+    Value,
+    WORD_BYTES,
+)
+from .interpreter import Interpreter, block_leaders, compare, guest_div, guest_mod, wrap_int
+from .locks import LockWord, MAIN_THREAD
+from .profile import (
+    BranchProfile,
+    CallSiteProfile,
+    COLD_EDGE_BIAS,
+    MethodProfile,
+    ProfileStore,
+)
+
+__all__ = [
+    "ARRAY_HEADER_BYTES",
+    "BoundsError",
+    "BranchProfile",
+    "CallSiteProfile",
+    "COLD_EDGE_BIAS",
+    "GuestArithmeticError",
+    "GuestArray",
+    "GuestError",
+    "GuestObject",
+    "Heap",
+    "Interpreter",
+    "LockWord",
+    "MAIN_THREAD",
+    "MethodProfile",
+    "MonitorStateError",
+    "NullPointerError",
+    "OBJECT_HEADER_BYTES",
+    "ProfileStore",
+    "VMError",
+    "Value",
+    "WORD_BYTES",
+    "block_leaders",
+    "compare",
+    "guest_div",
+    "guest_mod",
+    "wrap_int",
+]

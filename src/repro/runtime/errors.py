@@ -1,0 +1,40 @@
+"""Guest-visible runtime errors.
+
+These model the Java safety traps whose *checks* the paper's optimizations
+remove or deduplicate: null-pointer dereference, array bounds overrun, and
+integer division by zero.  They are raised by the interpreter and by the
+functional machine simulator when a check actually fails (which, per the
+paper, is rare: the checks are almost always redundant, not almost always
+failing).
+"""
+
+from __future__ import annotations
+
+
+class GuestError(Exception):
+    """Base class for errors raised *by the guest program's semantics*."""
+
+
+class NullPointerError(GuestError):
+    """Dereference of the null reference."""
+
+
+class BoundsError(GuestError):
+    """Array index out of range."""
+
+    def __init__(self, index: int, length: int) -> None:
+        super().__init__(f"index {index} out of bounds for length {length}")
+        self.index = index
+        self.length = length
+
+
+class GuestArithmeticError(GuestError):
+    """Integer division or remainder by zero."""
+
+
+class MonitorStateError(GuestError):
+    """Structurally ill-formed monitor usage (exit without enter, etc.)."""
+
+
+class VMError(Exception):
+    """An internal VM invariant violation (a bug in this library, not the guest)."""

@@ -1,0 +1,164 @@
+"""The guest heap: addressed objects and arrays.
+
+Objects carry a simulated byte address so the hardware layer (caches,
+atomic-region read/write sets, conflict detection) can operate on cache
+lines, exactly as the paper's hardware tracks the data footprint of an
+atomic region in the L1 (§3.3, §6.2).
+
+Layout model (word = 8 bytes):
+
+- object: ``base .. base+16`` header (class word + lock word), then one word
+  per field slot;
+- array:  ``base .. base+16`` header, ``base+16`` length word, elements from
+  ``base+24``.
+
+Allocation is bump-pointer and 16-byte aligned; there is no collector — the
+paper's evaluation never depends on GC, only on safepoint *polling* cost,
+which is modeled in the compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .errors import BoundsError, NullPointerError, VMError
+from .locks import LockWord
+
+OBJECT_HEADER_BYTES = 16
+ARRAY_HEADER_BYTES = 24  # 16-byte header + 8-byte length word
+WORD_BYTES = 8
+
+#: Guest values are 64-bit-ish integers or references (or None for null).
+Value = Union[int, "GuestObject", "GuestArray", None]
+
+
+class GuestObject:
+    """An instance of a guest class: a flat slot array plus a lock word."""
+
+    __slots__ = ("class_name", "slots", "field_index", "base", "lock")
+
+    def __init__(
+        self,
+        class_name: str,
+        field_index: dict[str, int],
+        base: int,
+    ) -> None:
+        self.class_name = class_name
+        self.field_index = field_index
+        self.slots: list[Value] = [0] * len(field_index)
+        self.base = base
+        self.lock = LockWord()
+
+    def get(self, fieldname: str) -> Value:
+        try:
+            return self.slots[self.field_index[fieldname]]
+        except KeyError:
+            raise VMError(
+                f"class {self.class_name!r} has no field {fieldname!r}"
+            ) from None
+
+    def put(self, fieldname: str, value: Value) -> None:
+        try:
+            self.slots[self.field_index[fieldname]] = value
+        except KeyError:
+            raise VMError(
+                f"class {self.class_name!r} has no field {fieldname!r}"
+            ) from None
+
+    def field_address(self, fieldname: str) -> int:
+        return self.base + OBJECT_HEADER_BYTES + self.field_index[fieldname] * WORD_BYTES
+
+    def lock_address(self) -> int:
+        """Address of the lock word (second header word)."""
+        return self.base + WORD_BYTES
+
+    def size_bytes(self) -> int:
+        return OBJECT_HEADER_BYTES + len(self.slots) * WORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.class_name}@{self.base:#x}>"
+
+
+class GuestArray:
+    """A guest array of values (ints or references)."""
+
+    __slots__ = ("values", "base")
+
+    def __init__(self, length: int, base: int) -> None:
+        if length < 0:
+            raise VMError(f"negative array length {length}")
+        self.values: list[Value] = [0] * length
+        self.base = base
+
+    @property
+    def length(self) -> int:
+        return len(self.values)
+
+    def load(self, index: int) -> Value:
+        if not 0 <= index < len(self.values):
+            raise BoundsError(index, len(self.values))
+        return self.values[index]
+
+    def store(self, index: int, value: Value) -> None:
+        if not 0 <= index < len(self.values):
+            raise BoundsError(index, len(self.values))
+        self.values[index] = value
+
+    def element_address(self, index: int) -> int:
+        return self.base + ARRAY_HEADER_BYTES + index * WORD_BYTES
+
+    def length_address(self) -> int:
+        return self.base + OBJECT_HEADER_BYTES
+
+    def size_bytes(self) -> int:
+        return ARRAY_HEADER_BYTES + len(self.values) * WORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<array[{len(self.values)}]@{self.base:#x}>"
+
+
+def require_object(ref: Value) -> GuestObject:
+    if ref is None:
+        raise NullPointerError("null object dereference")
+    if not isinstance(ref, GuestObject):
+        raise VMError(f"expected object reference, got {type(ref).__name__}")
+    return ref
+
+
+def require_array(ref: Value) -> GuestArray:
+    if ref is None:
+        raise NullPointerError("null array dereference")
+    if not isinstance(ref, GuestArray):
+        raise VMError(f"expected array reference, got {type(ref).__name__}")
+    return ref
+
+
+class Heap:
+    """Bump-pointer allocator handing out addressed objects and arrays."""
+
+    BASE_ADDRESS = 0x10_0000
+
+    def __init__(self) -> None:
+        self._cursor = self.BASE_ADDRESS
+        self.objects_allocated = 0
+        self.arrays_allocated = 0
+        self.bytes_allocated = 0
+
+    def _bump(self, size: int) -> int:
+        base = self._cursor
+        aligned = (size + 15) & ~15
+        self._cursor += aligned
+        self.bytes_allocated += aligned
+        return base
+
+    def new_object(self, class_name: str, field_index: dict[str, int]) -> GuestObject:
+        size = OBJECT_HEADER_BYTES + len(field_index) * WORD_BYTES
+        obj = GuestObject(class_name, field_index, self._bump(size))
+        self.objects_allocated += 1
+        return obj
+
+    def new_array(self, length: int) -> GuestArray:
+        size = ARRAY_HEADER_BYTES + length * WORD_BYTES
+        arr = GuestArray(length, self._bump(size))
+        self.arrays_allocated += 1
+        return arr

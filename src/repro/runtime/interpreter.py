@@ -1,0 +1,241 @@
+"""Tier-0 profiling interpreter.
+
+Plays the role of the DRLVM first-pass execution tier: it runs bytecode
+directly, and "inserts instrumentation to profile program behaviors (e.g.,
+branches, virtual calls)" (paper §4).  Everything region formation consumes
+— block execution counts, branch biases, receiver histograms — is gathered
+here.
+
+Calls dispatch through a pluggable ``dispatcher`` so the tiered VM
+(:mod:`repro.vm`) can substitute compiled code for hot callees; standalone,
+the interpreter dispatches to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..lang.bytecode import Instr, Method, Op, Program
+from .errors import GuestArithmeticError, VMError
+from .heap import Heap, Value, require_array, require_object
+from .locks import MAIN_THREAD
+from .profile import ProfileStore
+
+INT_BITS = 64
+_INT_MIN = -(1 << (INT_BITS - 1))
+_INT_MASK = (1 << INT_BITS) - 1
+
+
+def wrap_int(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's-complement."""
+    value &= _INT_MASK
+    return value if value <= ~_INT_MIN else value - (1 << INT_BITS)
+
+
+def guest_div(a: int, b: int) -> int:
+    """Java-style integer division: truncates toward zero, traps on zero."""
+    if b == 0:
+        raise GuestArithmeticError("division by zero")
+    q = abs(a) // abs(b)
+    return wrap_int(-q if (a < 0) != (b < 0) else q)
+
+
+def guest_mod(a: int, b: int) -> int:
+    """Java-style remainder: sign follows the dividend, traps on zero."""
+    if b == 0:
+        raise GuestArithmeticError("remainder by zero")
+    return wrap_int(a - guest_div(a, b) * b)
+
+
+def compare(cond: str, a: Value, b: Value) -> bool:
+    """Evaluate a branch condition on two guest values.
+
+    References compare by identity and support only eq/ne, like Java's
+    ``if_acmpeq``; integers support the full set.
+    """
+    a_ref = not isinstance(a, int)
+    b_ref = not isinstance(b, int)
+    if a_ref or b_ref:
+        if cond == "eq":
+            return a is b if (a_ref and b_ref) else (a is None and b == 0) or (b is None and a == 0)
+        if cond == "ne":
+            return not compare("eq", a, b)
+        raise VMError(f"condition {cond!r} applied to a reference")
+    if cond == "lt":
+        return a < b
+    if cond == "le":
+        return a <= b
+    if cond == "gt":
+        return a > b
+    if cond == "ge":
+        return a >= b
+    if cond == "eq":
+        return a == b
+    if cond == "ne":
+        return a != b
+    raise VMError(f"unknown condition {cond!r}")
+
+
+class Dispatcher(Protocol):
+    """Anything that can run a guest method to completion."""
+
+    def invoke(self, method: Method, args: list[Value]) -> Value: ...
+
+
+def block_leaders(method: Method) -> frozenset[int]:
+    """Bytecode pcs that start a basic block (entry, targets, fallthroughs)."""
+    leaders = {0}
+    for pc, instr in enumerate(method.instrs):
+        if instr.op in (Op.JMP, Op.BR):
+            leaders.add(instr.target)
+        if instr.op in (Op.JMP, Op.BR, Op.RET) and pc + 1 < len(method.instrs):
+            leaders.add(pc + 1)
+    return frozenset(leaders)
+
+
+class Interpreter:
+    """Executes bytecode while recording profiles.
+
+    ``fuel`` bounds the total number of bytecodes executed across the
+    interpreter's lifetime, so broken guest programs fail tests instead of
+    hanging them.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        heap: Heap | None = None,
+        profiles: ProfileStore | None = None,
+        dispatcher: Dispatcher | None = None,
+        fuel: int | None = None,
+    ) -> None:
+        self.program = program
+        self.heap = heap if heap is not None else Heap()
+        self.profiles = profiles if profiles is not None else ProfileStore()
+        self.dispatcher: Dispatcher = dispatcher if dispatcher is not None else self
+        self.fuel = fuel
+        self.bytecodes_executed = 0
+        self.safepoints_polled = 0
+        self._leader_cache: dict[int, frozenset[int]] = {}
+
+    # -- entry points -------------------------------------------------------
+    def run(self, entry: str | None = None, args: list[Value] | None = None) -> Value:
+        """Invoke a static method by name (defaults to the program entry)."""
+        name = entry if entry is not None else self.program.entry
+        if name is None:
+            raise VMError("program has no entry point")
+        method = self.program.resolve_static(name)
+        return self.invoke(method, list(args or []))
+
+    def invoke(self, method: Method, args: list[Value]) -> Value:
+        """Execute one method activation and return its result."""
+        if len(args) != method.num_params:
+            raise VMError(
+                f"{method.qualified_name}: expected {method.num_params} args, "
+                f"got {len(args)}"
+            )
+        prof = self.profiles.method(method.qualified_name)
+        prof.invocations += 1
+        leaders = self._leaders(method)
+
+        regs: list[Value] = [0] * max(method.num_regs, method.num_params)
+        regs[: len(args)] = args
+        instrs = method.instrs
+        pc = 0
+        block_counts = prof.block_counts
+        while True:
+            if pc in leaders:
+                block_counts[pc] += 1
+            instr = instrs[pc]
+            self.bytecodes_executed += 1
+            prof.bytecodes_executed += 1
+            if self.fuel is not None and self.bytecodes_executed > self.fuel:
+                raise VMError("interpreter fuel exhausted (guest loop?)")
+            op = instr.op
+
+            if op is Op.BR:
+                taken = compare(instr.cond, regs[instr.a], regs[instr.b])
+                bprof = prof.branch_at(pc)
+                if taken:
+                    bprof.taken += 1
+                    pc = instr.target
+                else:
+                    bprof.not_taken += 1
+                    pc += 1
+                continue
+            if op is Op.JMP:
+                pc = instr.target
+                continue
+            if op is Op.RET:
+                return regs[instr.a] if instr.a is not None else None
+
+            if op is Op.CONST:
+                regs[instr.dst] = instr.imm
+            elif op is Op.CONST_NULL:
+                regs[instr.dst] = None
+            elif op is Op.MOV:
+                regs[instr.dst] = regs[instr.a]
+            elif op is Op.ADD:
+                regs[instr.dst] = wrap_int(regs[instr.a] + regs[instr.b])
+            elif op is Op.SUB:
+                regs[instr.dst] = wrap_int(regs[instr.a] - regs[instr.b])
+            elif op is Op.MUL:
+                regs[instr.dst] = wrap_int(regs[instr.a] * regs[instr.b])
+            elif op is Op.DIV:
+                regs[instr.dst] = guest_div(regs[instr.a], regs[instr.b])
+            elif op is Op.MOD:
+                regs[instr.dst] = guest_mod(regs[instr.a], regs[instr.b])
+            elif op is Op.AND:
+                regs[instr.dst] = wrap_int(regs[instr.a] & regs[instr.b])
+            elif op is Op.OR:
+                regs[instr.dst] = wrap_int(regs[instr.a] | regs[instr.b])
+            elif op is Op.XOR:
+                regs[instr.dst] = wrap_int(regs[instr.a] ^ regs[instr.b])
+            elif op is Op.SHL:
+                regs[instr.dst] = wrap_int(regs[instr.a] << (regs[instr.b] & 63))
+            elif op is Op.SHR:
+                regs[instr.dst] = wrap_int(regs[instr.a] >> (regs[instr.b] & 63))
+            elif op is Op.NEW:
+                layout = self.program.field_layout(instr.cls)
+                regs[instr.dst] = self.heap.new_object(instr.cls, layout)
+            elif op is Op.NEWARR:
+                regs[instr.dst] = self.heap.new_array(regs[instr.a])
+            elif op is Op.GETF:
+                regs[instr.dst] = require_object(regs[instr.a]).get(instr.fieldname)
+            elif op is Op.PUTF:
+                require_object(regs[instr.a]).put(instr.fieldname, regs[instr.b])
+            elif op is Op.ALOAD:
+                regs[instr.dst] = require_array(regs[instr.a]).load(regs[instr.b])
+            elif op is Op.ASTORE:
+                require_array(regs[instr.a]).store(regs[instr.b], regs[instr.c])
+            elif op is Op.ALEN:
+                regs[instr.dst] = require_array(regs[instr.a]).length
+            elif op is Op.CALL:
+                callee = self.program.resolve_static(instr.method)
+                call_args = [regs[r] for r in instr.args]
+                regs[instr.dst] = self.dispatcher.invoke(callee, call_args)
+            elif op is Op.VCALL:
+                receiver = require_object(regs[instr.a])
+                prof.call_site_at(pc).receivers[receiver.class_name] += 1
+                callee = self.program.resolve_virtual(receiver.class_name, instr.method)
+                call_args = [regs[r] for r in instr.args]
+                regs[instr.dst] = self.dispatcher.invoke(callee, call_args)
+            elif op is Op.MENTER:
+                require_object(regs[instr.a]).lock.enter(MAIN_THREAD)
+            elif op is Op.MEXIT:
+                require_object(regs[instr.a]).lock.exit(MAIN_THREAD)
+            elif op is Op.SAFEPOINT:
+                self.safepoints_polled += 1
+            elif op is Op.NOP:
+                pass
+            else:  # pragma: no cover - exhaustive over Op
+                raise VMError(f"unhandled opcode {op}")
+            pc += 1
+
+    # -- internals ------------------------------------------------------------
+    def _leaders(self, method: Method) -> frozenset[int]:
+        key = id(method)
+        leaders = self._leader_cache.get(key)
+        if leaders is None:
+            leaders = self._leader_cache[key] = block_leaders(method)
+        return leaders

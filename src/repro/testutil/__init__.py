@@ -1,0 +1,21 @@
+"""Testing utilities: random guest programs and differential execution."""
+
+from .diff import (
+    Outcome,
+    assert_same_outcome,
+    outcome_bytecode,
+    outcome_ir,
+    profiled,
+)
+from .genprog import GenConfig, ProgramGenerator, random_program
+
+__all__ = [
+    "GenConfig",
+    "Outcome",
+    "ProgramGenerator",
+    "assert_same_outcome",
+    "outcome_bytecode",
+    "outcome_ir",
+    "profiled",
+    "random_program",
+]

@@ -1,0 +1,173 @@
+"""Differential execution: bytecode semantics vs. IR (optionally transformed).
+
+``outcome_bytecode`` / ``outcome_ir`` run a program's ``main`` to an
+:class:`Outcome` — the returned value, or the guest exception type — plus an
+observable heap digest.  Equality of outcomes is the correctness oracle for
+every compiler stage in this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.build import build_ir
+from ..ir.cfg import Graph
+from ..ir.interp import IRExecutor
+from ..ir.verify import verify_graph
+from ..lang.bytecode import Method, Program
+from ..runtime.errors import GuestError
+from ..runtime.heap import GuestArray, GuestObject, Heap, Value
+from ..runtime.interpreter import Interpreter
+from ..runtime.profile import ProfileStore
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Observable result of running a guest program."""
+
+    value: object          # int / None / "<ref>" for reference returns
+    error: str | None      # guest exception class name, if raised
+    heap_digest: int       # order-insensitive digest of reachable heap ints
+
+    @staticmethod
+    def _digest_value(value: Value) -> object:
+        if isinstance(value, (GuestObject, GuestArray)):
+            return "<ref>"
+        return value
+
+
+def _heap_digest(roots: list[Value]) -> int:
+    """Hash the integer contents of the heap reachable from ``roots``."""
+    seen: set[int] = set()
+    acc = 0
+    stack = list(roots)
+    while stack:
+        value = stack.pop()
+        if isinstance(value, GuestObject):
+            if id(value) in seen:
+                continue
+            seen.add(id(value))
+            for i, slot in enumerate(value.slots):
+                if isinstance(slot, int):
+                    acc = (acc * 1000003 + hash((value.class_name, i, slot))) & 0xFFFFFFFF
+                else:
+                    stack.append(slot)
+        elif isinstance(value, GuestArray):
+            if id(value) in seen:
+                continue
+            seen.add(id(value))
+            for i, slot in enumerate(value.values):
+                if isinstance(slot, int):
+                    acc = (acc * 1000003 + hash(("arr", i, slot))) & 0xFFFFFFFF
+                else:
+                    stack.append(slot)
+    return acc
+
+
+def outcome_bytecode(
+    program: Program,
+    entry: str = "main",
+    args: tuple = (),
+    fuel: int = 5_000_000,
+    profiles: ProfileStore | None = None,
+) -> Outcome:
+    """Run under the tier-0 interpreter; optionally collect profiles."""
+    interp = Interpreter(program, profiles=profiles, fuel=fuel)
+    try:
+        value = interp.run(entry, list(args))
+        error = None
+    except GuestError as exc:
+        value, error = None, type(exc).__name__
+    digest = _heap_digest([value] if value is not None else [])
+    return Outcome(Outcome._digest_value(value), error, digest)
+
+
+class _InterpDispatcher:
+    """Dispatch nested calls from the IR executor to the interpreter."""
+
+    def __init__(self, program: Program, heap: Heap, fuel: int) -> None:
+        self._interp = Interpreter(program, heap=heap, fuel=fuel)
+
+    def invoke(self, method: Method, args: list[Value]) -> Value:
+        return self._interp.invoke(method, args)
+
+
+def outcome_ir(
+    program: Program,
+    entry: str = "main",
+    args: tuple = (),
+    transform: Callable[[Graph, Program], Graph | None] | None = None,
+    fuel: int = 5_000_000,
+    profiles: ProfileStore | None = None,
+    verify: bool = True,
+    check_regions: bool = True,
+) -> tuple[Outcome, IRExecutor]:
+    """Build IR for ``entry``, optionally transform it, execute, observe.
+
+    ``transform`` receives ``(graph, program)`` and may mutate in place (and
+    return None) or return a replacement graph.  When ``profiles`` is given,
+    block counts and branch biases are attached to the IR, which profile-
+    driven transforms (region formation) require.
+    """
+    method = program.resolve_static(entry)
+    prof = profiles.method(method.qualified_name) if profiles is not None else None
+    graph = build_ir(method, prof)
+    if verify:
+        verify_graph(graph, check_regions=check_regions)
+    if transform is not None:
+        try:
+            transform.profiles = profiles  # convenience for test transforms
+        except AttributeError:
+            pass
+        replacement = transform(graph, program)
+        if replacement is not None:
+            graph = replacement
+        if verify:
+            verify_graph(graph, check_regions=check_regions)
+
+    heap = Heap()
+    executor = IRExecutor(
+        program,
+        heap=heap,
+        dispatcher=_InterpDispatcher(program, heap, fuel),
+        fuel=fuel,
+    )
+    try:
+        value = executor.run(graph, list(args))
+        error = None
+    except GuestError as exc:
+        value, error = None, type(exc).__name__
+    digest = _heap_digest([value] if value is not None else [])
+    return Outcome(Outcome._digest_value(value), error, digest), executor
+
+
+def assert_same_outcome(
+    program: Program,
+    transform: Callable[[Graph, Program], Graph | None] | None = None,
+    entry: str = "main",
+    args: tuple = (),
+    profiles: ProfileStore | None = None,
+    check_regions: bool = True,
+) -> IRExecutor:
+    """Oracle: transformed-IR execution must match bytecode execution."""
+    expected = outcome_bytecode(program, entry, args)
+    actual, executor = outcome_ir(
+        program, entry, args, transform=transform, profiles=profiles,
+        check_regions=check_regions,
+    )
+    if expected != actual:
+        raise AssertionError(
+            f"differential mismatch for {entry}{args}:\n"
+            f"  bytecode: {expected}\n"
+            f"  ir:       {actual}"
+        )
+    return executor
+
+
+def profiled(program: Program, entry: str = "main", args: tuple = (),
+             fuel: int = 5_000_000) -> ProfileStore:
+    """Run once under the interpreter to gather profiles for a program."""
+    profiles = ProfileStore()
+    outcome_bytecode(program, entry, args, fuel=fuel, profiles=profiles)
+    return profiles

@@ -1,0 +1,79 @@
+"""Adaptive recompilation on abort-rate feedback (paper §7).
+
+"Maximizing the performance of atomic regions will require continuously
+monitoring their abort rate, and adaptively recompiling methods when their
+profiles change...  profiling is needed only when a region aborts and the
+hardware reports which assertion is failing."
+
+The controller samples the machine's abort-site counters (fed by the
+hardware's abort-reason/abort-PC registers through each compiled method's
+abort table), estimates per-method abort rates, and recompiles any method
+whose regions abort above the threshold with the offending branches barred
+from assert conversion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .vm import TieredVM
+
+
+@dataclass
+class AdaptiveDecision:
+    method: str
+    blocked_pcs: set[int]
+    observed_rate: float
+
+
+@dataclass
+class AdaptiveController:
+    """Polls a VM's statistics and triggers recompilations."""
+
+    vm: TieredVM
+    #: recompile when aborts/region-entries exceeds this (the paper: "an
+    #: abort rate of even a few percent can have a significant impact").
+    abort_rate_threshold: float = 0.02
+    #: don't judge a method before this many region entries.
+    min_region_entries: int = 50
+    decisions: list[AdaptiveDecision] = field(default_factory=list)
+    _seen_aborts: Counter = field(default_factory=Counter)
+    _seen_entries: Counter = field(default_factory=Counter)
+
+    def poll(self) -> list[AdaptiveDecision]:
+        """Inspect abort counters; recompile offending methods."""
+        stats = self.vm.stats
+        aborts_by_method: Counter = Counter()
+        sites_by_method: dict[str, Counter] = {}
+        for (method_name, _rid, abort_id), count in stats.abort_sites.items():
+            aborts_by_method[method_name] += count
+            sites_by_method.setdefault(method_name, Counter())[abort_id] += count
+
+        new_decisions = []
+        total_entries = stats.regions_entered
+        for method_name, aborts in aborts_by_method.items():
+            fresh_aborts = aborts - self._seen_aborts[method_name]
+            if fresh_aborts <= 0:
+                continue
+            if total_entries < self.min_region_entries:
+                continue
+            rate = stats.regions_aborted / max(stats.regions_entered, 1)
+            if rate < self.abort_rate_threshold:
+                continue
+            record = self.vm.compiled.get(method_name)
+            if record is None:
+                continue
+            blocked = set()
+            for abort_id, count in sites_by_method[method_name].items():
+                site = record.compiled.abort_sites.get(abort_id)
+                if site is not None and site[0] is not None:
+                    blocked.add(site[0])
+            if not blocked:
+                continue
+            self.vm.recompile(method_name, blocked)
+            decision = AdaptiveDecision(method_name, blocked, rate)
+            self.decisions.append(decision)
+            new_decisions.append(decision)
+            self._seen_aborts[method_name] = aborts
+        return new_decisions

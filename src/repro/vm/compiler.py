@@ -1,0 +1,134 @@
+"""The tier-1 optimizing compiler driver.
+
+Assembles the full pipeline per compiler configuration:
+
+- **no-atomic** (baseline): profile-guided inlining + the classical pass
+  pipeline — "a baseline set of optimizations that corresponds closely to
+  Harmony's default server configuration" (§6);
+- **atomic**: the same passes plus atomic-region formation, partial
+  inlining/unrolling (via formation), and SLE;
+- either flavor **+aggressive inlining**: the inline threshold multiplied
+  by five ("an unrealistically large inlining threshold (a factor of five
+  larger than the baseline)", §6).
+
+``blocked_asserts`` supports adaptive recompilation (§7): branch pcs listed
+there are never converted to asserts, so a region whose profile turned
+stale stops aborting after recompilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..atomic import (
+    FormationConfig,
+    FormationResult,
+    apply_sle,
+    eliminate_postdominated_checks,
+    form_regions,
+)
+from ..atomic.replicate import cold_edge_fn
+from ..hw.codegen import generate_code
+from ..hw.isa import CompiledMethod
+from ..ir.build import build_ir
+from ..ir.verify import verify_graph
+from ..lang.bytecode import Method, Program
+from ..opt.inline import InlineConfig, Inliner
+from ..opt.pipeline import optimize
+from ..runtime.profile import ProfileStore
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """One compiler configuration (the paper's four evaluation points)."""
+
+    name: str = "no-atomic"
+    atomic: bool = False
+    inline: InlineConfig = field(default_factory=InlineConfig)
+    formation: FormationConfig = field(default_factory=FormationConfig)
+    sle: bool = True
+    postdom_checks: bool = False
+    opt_rounds: int = 3
+    verify: bool = False
+
+    def with_aggressive_inlining(self) -> "CompilerConfig":
+        return replace(
+            self,
+            name=self.name + "+aggr-inline",
+            inline=replace(self.inline, aggressive=True),
+        )
+
+
+#: The paper's four configurations (Figures 7/8).
+NO_ATOMIC = CompilerConfig(name="no-atomic", atomic=False)
+ATOMIC = CompilerConfig(name="atomic", atomic=True)
+NO_ATOMIC_AGGRESSIVE = NO_ATOMIC.with_aggressive_inlining()
+ATOMIC_AGGRESSIVE = ATOMIC.with_aggressive_inlining()
+
+
+@dataclass
+class CompilationRecord:
+    """Everything the VM wants to remember about one compilation."""
+
+    compiled: CompiledMethod
+    formation: FormationResult | None
+    graph_nodes: int
+    inlined: list[str]
+    rejected_polymorphic: list[tuple[str, int]]
+
+
+def compile_method(
+    program: Program,
+    method: Method,
+    profiles: ProfileStore,
+    config: CompilerConfig,
+    blocked_asserts: frozenset[int] = frozenset(),
+) -> CompilationRecord:
+    """Compile one method to machine code under ``config``."""
+    qualified = method.qualified_name
+    profile = profiles.method(qualified) if qualified in profiles else None
+    graph = build_ir(method, profile)
+
+    inliner = Inliner(program, profiles, config.inline)
+    inline_result = inliner.run(graph, method)
+
+    formation_result: FormationResult | None = None
+    if config.atomic:
+        formation_config = config.formation
+        if blocked_asserts:
+            formation_config = _blocked_config(formation_config, blocked_asserts)
+        formation_result = form_regions(graph, inline_result, formation_config)
+        if config.verify:
+            verify_graph(graph)
+
+    optimize(graph, max_rounds=config.opt_rounds, verify=config.verify)
+
+    if config.atomic and config.sle:
+        if apply_sle(graph):
+            optimize(graph, max_rounds=1, verify=config.verify)
+    if config.atomic and config.postdom_checks:
+        if eliminate_postdominated_checks(graph):
+            optimize(graph, max_rounds=1, verify=config.verify)
+    if config.verify:
+        verify_graph(graph)
+
+    compiled = generate_code(graph, uses_regions=config.atomic)
+    return CompilationRecord(
+        compiled=compiled,
+        formation=formation_result,
+        graph_nodes=graph.node_count(),
+        inlined=[im.callee.qualified_name for im in inline_result.inlined],
+        rejected_polymorphic=list(inline_result.rejected_polymorphic),
+    )
+
+
+def _blocked_config(base: FormationConfig, blocked: frozenset[int]) -> FormationConfig:
+    """Derive a FormationConfig whose cold-edge test spares ``blocked`` pcs.
+
+    Used by adaptive recompilation: an assert that fired too often maps back
+    (through the hardware abort-PC register and the compiled method's abort
+    table) to the bytecode pc of the branch it replaced; recompiling with
+    that pc blocked keeps the branch — and its cold path — out of assert
+    conversion.
+    """
+    return replace(base, blocked_assert_pcs=base.blocked_assert_pcs | blocked)

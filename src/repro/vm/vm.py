@@ -1,0 +1,193 @@
+"""The tiered virtual machine: profiling interpreter + optimizing compiler
++ simulated hardware.
+
+Execution starts in the tier-0 interpreter, which gathers the profiles the
+tier-1 compiler consumes.  Methods whose invocation count crosses the
+compile threshold are compiled (per the active :class:`CompilerConfig`) and
+subsequently run on the simulated machine, including their atomic regions.
+
+For deterministic experiments, the harness drives the tiers explicitly:
+``warm_up`` interprets until profiles exist, ``compile_hot`` installs
+machine code, ``start_measurement`` resets the statistics and the timing
+model, and the measured calls then run on the final code, exactly like the
+paper's marker-delimited samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import BASELINE_4WIDE, HardwareConfig
+from ..hw.machine import Machine
+from ..hw.stats import ExecStats
+from ..hw.timing import INTERPRETER_CYCLES_PER_BYTECODE, TimingModel
+from ..lang.bytecode import Method, Program
+from ..lang.validate import validate_program
+from ..runtime.errors import VMError
+from ..runtime.heap import Heap, Value
+from ..runtime.interpreter import Interpreter
+from ..runtime.profile import ProfileStore
+from .compiler import CompilationRecord, CompilerConfig, NO_ATOMIC, compile_method
+
+
+@dataclass
+class VMOptions:
+    compile_threshold: int = 10
+    enable_timing: bool = True
+    auto_compile: bool = True
+    #: synthetic interrupt period in uops (None = no interrupts).
+    interrupt_interval: int | None = None
+
+
+class TieredVM:
+    """One guest program + one compiler config + one hardware config."""
+
+    def __init__(
+        self,
+        program: Program,
+        compiler_config: CompilerConfig = NO_ATOMIC,
+        hw_config: HardwareConfig = BASELINE_4WIDE,
+        options: VMOptions | None = None,
+        conflict_injector=None,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            validate_program(program)
+        self.program = program
+        self.compiler_config = compiler_config
+        self.hw_config = hw_config
+        self.options = options if options is not None else VMOptions()
+
+        self.heap = Heap()
+        self.profiles = ProfileStore()
+        self.stats = ExecStats()
+        self.timing = TimingModel(hw_config) if self.options.enable_timing else None
+        self.interpreter = Interpreter(
+            program, heap=self.heap, profiles=self.profiles, dispatcher=self
+        )
+        self.machine = Machine(
+            program,
+            self.heap,
+            config=hw_config,
+            stats=self.stats,
+            timing=self.timing,
+            dispatcher=self,
+            conflict_injector=conflict_injector,
+            interrupt_interval=self.options.interrupt_interval,
+        )
+        self.compiled: dict[str, CompilationRecord] = {}
+        #: per-method branch pcs barred from assert conversion (§7 adaptive).
+        self.blocked_asserts: dict[str, set[int]] = {}
+        self._measuring = False
+        self._interp_bytecodes_at_start = 0
+        self.compilations = 0
+
+    # -- dispatch -----------------------------------------------------------
+    def run(self, entry: str | None = None, args: list[Value] | None = None) -> Value:
+        name = entry if entry is not None else self.program.entry
+        if name is None:
+            raise VMError("program has no entry point")
+        method = self.program.resolve_static(name)
+        return self.invoke(method, list(args or []))
+
+    def invoke(self, method: Method, args: list[Value]) -> Value:
+        qualified = method.qualified_name
+        record = self.compiled.get(qualified)
+        if record is not None:
+            return self.machine.execute(record.compiled, args)
+        if (
+            self.options.auto_compile
+            and self.profiles.method(qualified).invocations
+            >= self.options.compile_threshold
+        ):
+            record = self.compile(method)
+            return self.machine.execute(record.compiled, args)
+        return self.interpreter.invoke(method, args)
+
+    # -- compilation ---------------------------------------------------------
+    def compile(self, method: Method) -> CompilationRecord:
+        qualified = method.qualified_name
+        blocked = frozenset(self.blocked_asserts.get(qualified, ()))
+        record = compile_method(
+            self.program, method, self.profiles, self.compiler_config,
+            blocked_asserts=blocked,
+        )
+        self.compiled[qualified] = record
+        self.compilations += 1
+        return record
+
+    def compile_hot(self, min_invocations: int | None = None) -> list[str]:
+        """Compile every sufficiently-invoked method; returns their names."""
+        threshold = (
+            min_invocations
+            if min_invocations is not None
+            else self.options.compile_threshold
+        )
+        names = []
+        for method in self.program.all_methods():
+            qualified = method.qualified_name
+            if qualified in self.compiled:
+                continue
+            if qualified in self.profiles and (
+                self.profiles.method(qualified).invocations >= threshold
+            ):
+                self.compile(method)
+                names.append(qualified)
+        return names
+
+    def recompile(self, qualified: str, extra_blocked: set[int]) -> None:
+        """Adaptive recompilation: bar the given branch pcs from asserts."""
+        self.blocked_asserts.setdefault(qualified, set()).update(extra_blocked)
+        method = self._find_method(qualified)
+        self.compile(method)
+
+    def _find_method(self, qualified: str) -> Method:
+        for method in self.program.all_methods():
+            if method.qualified_name == qualified:
+                return method
+        raise KeyError(qualified)
+
+    # -- measurement protocol ---------------------------------------------------
+    def warm_up(self, entry: str, args_list: list[list[Value]]) -> None:
+        """Interpret the workload to build profiles (no stats recorded).
+
+        Auto-compilation is suspended: warm-up is a pure tier-0 profiling
+        phase, so no method's profile is frozen mid-warm-up with only a
+        handful of branch samples (which would misclassify warm edges as
+        cold and create spurious asserts).
+        """
+        method = self.program.resolve_static(entry)
+        previous = self.options.auto_compile
+        self.options.auto_compile = False
+        try:
+            for args in args_list:
+                self.interpreter.invoke(method, list(args))
+        finally:
+            self.options.auto_compile = previous
+
+    def start_measurement(self) -> None:
+        """Begin a timing sample: fresh statistics and timing state."""
+        self.stats = ExecStats()
+        self.machine.stats = self.stats
+        if self.options.enable_timing:
+            self.timing = TimingModel(self.hw_config)
+            self.machine.timing = self.timing
+        self._interp_bytecodes_at_start = self.interpreter.bytecodes_executed
+        self._measuring = True
+
+    def end_measurement(self) -> ExecStats:
+        """Close the sample; interpreter work is charged to the cycle count."""
+        interp_bytecodes = (
+            self.interpreter.bytecodes_executed - self._interp_bytecodes_at_start
+        )
+        self.stats.interpreter_bytecodes = interp_bytecodes
+        if self.timing is not None:
+            self.timing.add_interpreter_cycles(interp_bytecodes)
+            self.stats.cycles = self.timing.cycles
+        else:
+            self.stats.cycles = float(
+                self.stats.uops_retired
+                + interp_bytecodes * INTERPRETER_CYCLES_PER_BYTECODE
+            )
+        self._measuring = False
+        return self.stats

@@ -1,0 +1,12 @@
+"""Synthetic DaCapo-shaped benchmarks (paper Table 2)."""
+
+from .base import Sample, Workload
+from .dacapo import ALL_WORKLOADS, get_workload, workload_names
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "Sample",
+    "Workload",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,67 @@
+"""Workload infrastructure: the shape of one synthetic DaCapo benchmark.
+
+We cannot run Java, so each benchmark from the paper's Table 2 is recreated
+as a guest program engineered to exhibit the *mechanisms* that give its
+namesake its published behavior: hot/cold path structure, monitor density,
+receiver-class distributions, region-size potential, and profile/phase
+changes.  The per-benchmark docstrings state which published
+characteristics (Table 3 columns, §6.1 anecdotes) each program targets.
+
+A workload has one or more *samples* (the paper uses up to four SimPoint
+phases per benchmark, Table 2); each sample is a (warm-up args, measured
+args, weight) triple executed against a fresh VM, and weighted results are
+combined exactly as the paper does: "we report data by weighting the
+results for each sample by its phase's contribution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lang.bytecode import Program
+
+
+@dataclass
+class Sample:
+    """One measured phase of a workload."""
+
+    warm_args: list[list]
+    measure_args: list[list]
+    weight: float = 1.0
+
+
+@dataclass
+class Workload:
+    """One synthetic benchmark."""
+
+    name: str
+    description: str
+    build: Callable[[], Program]
+    samples: list[Sample]
+    entry: str = "work"
+    #: call sites to treat as monomorphic when the harness applies the
+    #: paper's §6.1 jython fix: (method qualified name, bytecode pc).
+    force_monomorphic_sites: Callable[[Program], frozenset] | None = None
+    #: paper-reported values for EXPERIMENTS.md comparisons.
+    paper_coverage: float | None = None
+    paper_region_size: float | None = None
+    paper_abort_pct: float | None = None
+    paper_speedup_aggressive: float | None = None
+
+    def total_weight(self) -> float:
+        return sum(s.weight for s in self.samples)
+
+
+def checksum_method(pb, fields=()):
+    """Helper used by several workloads: a tiny pure static method that the
+    inliner happily inlines, modeling small leaf classlib calls."""
+    h = pb.method("mix", params=("a", "b"))
+    a, b = h.param(0), h.param(1)
+    c13 = h.const(13)
+    t = h.mul(a, c13)
+    t2 = h.xor(t, b)
+    c7 = h.const(7)
+    out = h.add(t2, c7)
+    h.ret(out)
+    return h

@@ -1,0 +1,30 @@
+"""Registry of the DaCapo-shaped benchmarks (the paper's Table 2)."""
+
+from __future__ import annotations
+
+from .antlr import WORKLOAD as ANTLR
+from .base import Sample, Workload
+from .bloat import WORKLOAD as BLOAT
+from .fop import WORKLOAD as FOP
+from .hsqldb import WORKLOAD as HSQLDB
+from .jython import WORKLOAD as JYTHON
+from .pmd import WORKLOAD as PMD
+from .xalan import WORKLOAD as XALAN
+
+#: Table 2 order.
+ALL_WORKLOADS: dict[str, Workload] = {
+    w.name: w for w in (ANTLR, BLOAT, FOP, HSQLDB, JYTHON, PMD, XALAN)
+}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}"
+        ) from None
+
+
+def workload_names() -> list[str]:
+    return list(ALL_WORKLOADS)

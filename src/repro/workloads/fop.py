@@ -1,0 +1,128 @@
+"""fop — XSL-FO → PDF formatter analogue.
+
+The paper's smallest beneficiary: tiny regions (Table 3: mean size 32
+uops, 20% coverage, essentially zero aborts) because the hot code
+alternates short loops with frequent calls to *large* layout/metric
+methods that no inliner threshold will swallow — each call terminates any
+atomic region.  The speedup is correspondingly small (a few percent).
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from .base import Sample, Workload
+
+
+def _big_method(pb, name: str, rounds: int = 45):
+    """A method body large enough to defeat aggressive inlining."""
+    m = pb.method(name, params=("seed", "n"))
+    s, n = m.param(0), m.param(1)
+    acc = m.mov(s)
+    j = m.const(0)
+    one = m.const(1)
+    c3 = m.const(3)
+    c5 = m.const(5)
+    c17 = m.const(17)
+    mask = m.const((1 << 40) - 1)
+    m.label("loop")
+    m.safepoint()
+    m.br("ge", j, n, "done")
+    for _ in range(rounds):
+        a1 = m.mul(acc, c3)
+        a2 = m.add(a1, c5)
+        a3 = m.xor(a2, c17)
+        a4 = m.or_(a3, one)
+        a5 = m.and_(a4, mask)
+        m.mov(a5, dst=acc)
+    m.add(j, one, dst=j)
+    m.jmp("loop")
+    m.label("done")
+    m.ret(acc)
+
+
+def build():
+    pb = ProgramBuilder()
+    pb.cls("Page", fields=["lines", "cursor", "checksum"])
+
+    _big_method(pb, "layout_block", rounds=45)
+    _big_method(pb, "measure_fonts", rounds=45)
+
+    # Small hot helper: line-break accumulation (inlines, forms regions).
+    brk = pb.method("advance", params=("page", "width"))
+    p, width = brk.param(0), brk.param(1)
+    zero = brk.const(0)
+    # Defensive clamp: never taken, so it becomes a region assert — fop's
+    # regions are tiny but real (Table 3: size 32, abort ~0).
+    brk.br("ge", width, zero, "okw")
+    brk.mov(zero, dst=width)
+    brk.label("okw")
+    cur = brk.getfield(p, "cursor")
+    c2 = brk.add(cur, width)
+    # Wrap every ~20 advances: clearly warm, so it stays a branch inside
+    # regions (fop's regions are small but essentially never abort).
+    limit = brk.const(230)
+    brk.br("ge", c2, limit, "wrap")
+    brk.putfield(p, "cursor", c2)
+    brk.ret(c2)
+    brk.label("wrap")
+    lines = brk.getfield(p, "lines")
+    one = brk.const(1)
+    l2 = brk.add(lines, one)
+    brk.putfield(p, "lines", l2)
+    zero = brk.const(0)
+    brk.putfield(p, "cursor", zero)
+    brk.ret(zero)
+
+    w = pb.method("work", params=("n",))
+    n = w.param(0)
+    page = w.new("Page")
+    state = w.const(777)
+    i = w.const(0)
+    one = w.const(1)
+    w.label("head")
+    w.safepoint()
+    w.br("ge", i, n, "done")
+    # Short hot stretch: a handful of advance() calls per block...
+    m1 = w.const(1103515245)
+    m2 = w.const(12345)
+    s1 = w.mul(state, m1)
+    s2 = w.add(s1, m2)
+    mask = w.const((1 << 31) - 1)
+    w.and_(s2, mask, dst=state)
+    width = w.mod(state, w.const(23))
+    w.call("advance", (page, width))
+    w2 = w.add(width, one)
+    w.call("advance", (page, w2))
+    w3 = w.add(w2, one)
+    w.call("advance", (page, w3))
+    # ...then heavyweight layout/metrics calls dominate (regions end here).
+    r1 = w.call("layout_block", (state, w.const(2)))
+    r2 = w.call("measure_fonts", (r1, w.const(2)))
+    ck = w.getfield(page, "checksum")
+    ck2 = w.xor(ck, r2)
+    w.putfield(page, "checksum", ck2)
+    w.add(i, one, dst=i)
+    w.jmp("head")
+    w.label("done")
+    lines = w.getfield(page, "lines")
+    ck = w.getfield(page, "checksum")
+    big = w.const(1 << 20)
+    lm = w.mul(lines, big)
+    out = w.add(ck, lm)
+    w.ret(out)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="fop",
+    description="Parses and formats XSL-FO into PDF-like output (Table 2)",
+    build=build,
+    samples=[
+        Sample(warm_args=[[60]] * 5, measure_args=[[100]], weight=0.5),
+        Sample(warm_args=[[60]] * 5, measure_args=[[110]], weight=0.5),
+    ],
+    paper_coverage=0.20,
+    paper_region_size=32,
+    paper_abort_pct=0.01,
+    paper_speedup_aggressive=5.0,
+)

@@ -1,0 +1,166 @@
+"""hsqldb — embedded database analogue (JDBCbench-like driver).
+
+The paper's biggest winner (56% speedup with aggressive inlining), driven
+by two effects this program recreates:
+
+- **monitor density**: every row operation goes through small synchronized
+  methods (insert/lookup/update on a table object), so the reservation-lock
+  load/branch/store pairs dominate; inside atomic regions SLE reduces each
+  balanced pair to one load+branch (§4);
+- **early, cheap aborts** (Table 3: abort rate 2.74% yet large speedup;
+  §6.1: "the aborts occur very early in the atomic region so they have
+  little negative impact"): the hash-probe collision path sits at the very
+  top of ``insert``; it stays below the 1% cold threshold while the table
+  is near-empty during profiling, but the measured run inserts more rows,
+  raising collisions to a few percent.
+
+Published targets: coverage 76%, region size ~88 uops, abort 2.74%.
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from .base import Sample, Workload
+
+BUCKETS = 4096
+
+
+def build():
+    pb = ProgramBuilder()
+    pb.cls("Table", fields=["keys", "values", "count", "probes", "checksum"])
+
+    # -- synchronized insert with a collision path at region start -----------
+    ins = pb.method("insert", params=("this", "key", "value"),
+                    owner="Table", synchronized=True)
+    this, key, value = ins.param(0), ins.param(1), ins.param(2)
+    keys = ins.getfield(this, "keys")
+    nbuckets = ins.const(BUCKETS)
+    h = ins.mod(key, nbuckets)
+    occupied = ins.aload(keys, h)
+    zero = ins.const(0)
+    ins.br("ne", occupied, zero, "collide")   # cold while table is empty
+    ins.label("store")
+    marker = ins.or_(key, ins.const(1))
+    ins.astore(keys, h, marker)
+    vals = ins.getfield(this, "values")
+    ins.astore(vals, h, value)
+    count = ins.getfield(this, "count")
+    one = ins.const(1)
+    c2 = ins.add(count, one)
+    ins.putfield(this, "count", c2)
+    ins.ret(h)
+    ins.label("collide")                      # linear probe (rarely long)
+    probes = ins.getfield(this, "probes")
+    pone = ins.const(1)
+    p2 = ins.add(probes, pone)
+    ins.putfield(this, "probes", p2)
+    hh = ins.mov(h)
+    ins.label("probe")
+    ins.safepoint()
+    hp = ins.add(hh, pone)
+    nb = ins.const(BUCKETS)
+    hp2 = ins.mod(hp, nb)
+    ins.mov(hp2, dst=hh)
+    slot = ins.aload(keys, hh)
+    z2 = ins.const(0)
+    ins.br("ne", slot, z2, "probe")
+    ins.mov(hh, dst=h)
+    ins.jmp("store")
+
+    # -- synchronized lookup ---------------------------------------------------
+    look = pb.method("lookup", params=("this", "key"),
+                     owner="Table", synchronized=True)
+    lt, lk = look.param(0), look.param(1)
+    lkeys = look.getfield(lt, "keys")
+    lb = look.const(BUCKETS)
+    lh = look.mod(lk, lb)
+    lvals = look.getfield(lt, "values")
+    lv = look.aload(lvals, lh)
+    look.ret(lv)
+
+    # -- synchronized update -----------------------------------------------------
+    upd = pb.method("update", params=("this", "key", "delta"),
+                    owner="Table", synchronized=True)
+    ut, uk, ud = upd.param(0), upd.param(1), upd.param(2)
+    ub = upd.const(BUCKETS)
+    uh = upd.mod(uk, ub)
+    uvals = upd.getfield(ut, "values")
+    uv = upd.aload(uvals, uh)
+    uv2 = upd.add(uv, ud)
+    upd.astore(uvals, uh, uv2)
+    upd.ret(uv2)
+
+    # -- JDBCbench-ish transaction driver ------------------------------------------
+    w = pb.method("work", params=("n", "collide_period"))
+    n, collide_period = w.param(0), w.param(1)
+    table = w.new("Table")
+    nb = w.const(BUCKETS)
+    karr = w.newarr(nb)
+    varr = w.newarr(nb)
+    w.putfield(table, "keys", karr)
+    w.putfield(table, "values", varr)
+    state = w.const(12345)
+    acc = w.const(0)
+    i = w.const(0)
+    one = w.const(1)
+    w.label("txn")
+    w.safepoint()
+    w.br("ge", i, n, "done")
+    # next pseudo-random payload value
+    m1 = w.const(1103515245)
+    m2 = w.const(12345)
+    s1 = w.mul(state, m1)
+    s2 = w.add(s1, m2)
+    maskc = w.const((1 << 31) - 1)
+    w.and_(s2, maskc, dst=state)
+    # Sequential row keys; every collide_period-th transaction re-inserts
+    # the previous key, deterministically taking the collision path (the
+    # profile run never does: its period exceeds the run length).
+    key = w.fresh()
+    w.mov(i, dst=key)
+    w.br("le", collide_period, zero, "key_ready")
+    rcp = w.mod(i, collide_period)
+    cpm1 = w.sub(collide_period, one)
+    w.br("ne", rcp, cpm1, "key_ready")
+    km1 = w.sub(i, one)
+    w.mov(km1, dst=key)
+    w.label("key_ready")
+    # one insert + two reads + one update, as in a TPC-B-ish transaction
+    w.vcall(table, "insert", (key, state))
+    r1 = w.vcall(table, "lookup", (key,))
+    half = w.const(2)
+    k2 = w.div(key, half)
+    r2 = w.vcall(table, "lookup", (k2,))
+    delta = w.and_(r1, w.const(255))
+    r3 = w.vcall(table, "update", (key, delta))
+    t1 = w.add(acc, r2)
+    t2 = w.xor(t1, r3)
+    w.mov(t2, dst=acc)
+    w.add(i, one, dst=i)
+    w.jmp("txn")
+    w.label("done")
+    cnt = w.getfield(table, "count")
+    prb = w.getfield(table, "probes")
+    big = w.const(1 << 20)
+    pm = w.mul(prb, big)
+    a2 = w.add(acc, cnt)
+    out = w.add(a2, pm)
+    w.ret(out)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="hsqldb",
+    description="Executes JDBCbench-like in-memory transactions (Table 2)",
+    build=build,
+    samples=[
+        # Profiled transactions never collide (period >> n); the measured
+        # run's forced re-insertions abort a few percent of regions.
+        Sample(warm_args=[[80, 1000000]] * 6, measure_args=[[300, 220]] * 3,
+               weight=1.0),
+    ],
+    paper_coverage=0.76,
+    paper_region_size=88,
+    paper_abort_pct=2.74,
+    paper_speedup_aggressive=56.0,
+)

@@ -1,0 +1,237 @@
+"""jython — Python-interpreter analogue running a pybench-ish loop.
+
+Recreates the paper's two jython findings:
+
+- **one huge hot loop** (Figure 1: the hottest path runs hundreds of
+  instructions through dozens of biased branches): a bytecode-dispatch loop
+  whose opcode cases are chained compare-and-branches over a strongly
+  biased opcode distribution.  With regions formed, the cold cases become
+  asserts and the dispatch flattens — Table 3: coverage 87%, only ~14
+  unique regions, the largest mean region size (227 uops).
+- **the getitem pathology** (§6.1): the hot ``getitem`` helper performs a
+  virtual ``get`` on a container that is *globally* bimorphic (PyList +
+  PyDict) but 99.97% PyList at the hot site.  The default partial inliner
+  refuses methods containing polymorphic calls, so plain ``atomic`` chops
+  regions at the call and *slows down*; the aggressive configuration (or
+  forcing the site monomorphic, the paper's grey bar) guard-inlines it, and
+  the rare PyDict receivers become guard-assert aborts (~0.7%, Table 3).
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from .base import Sample, Workload
+
+# Opcode ids of the toy interpreter.
+OP_LOAD, OP_STORE, OP_ADD, OP_MUL, OP_GETITEM, OP_JUMP_HOT, OP_RARE = range(7)
+
+#: dispatch program: a long, strongly-biased opcode sequence.
+_PROGRAM = ([OP_LOAD, OP_ADD, OP_GETITEM, OP_STORE, OP_MUL, OP_ADD,
+             OP_GETITEM, OP_LOAD, OP_ADD, OP_STORE] * 200) + [OP_RARE]
+
+
+def build():
+    pb = ProgramBuilder()
+    pb.cls("PyList", fields=["items"])
+    pb.cls("PyDict", fields=["items"])
+
+    # Virtual container access: PyList indexes directly, PyDict "hashes".
+    lget = pb.method("get", params=("this", "i"), owner="PyList")
+    lt, li = lget.param(0), lget.param(1)
+    items = lget.getfield(lt, "items")
+    length = lget.alen(items)
+    i2 = lget.mod(li, length)
+    pos = lget.add(i2, length)
+    pos2 = lget.mod(pos, length)
+    v = lget.aload(items, pos2)
+    lget.ret(v)
+
+    dget = pb.method("get", params=("this", "i"), owner="PyDict")
+    dt, di = dget.param(0), dget.param(1)
+    ditems = dget.getfield(dt, "items")
+    dlen = dget.alen(ditems)
+    c31 = dget.const(31)
+    dh = dget.mul(di, c31)
+    dh2 = dget.mod(dh, dlen)
+    dh3 = dget.add(dh2, dlen)
+    dh4 = dget.mod(dh3, dlen)
+    dv = dget.aload(ditems, dh4)
+    dget.ret(dv)
+
+    # The §6.1 helper: contains the apparently-polymorphic call site.
+    getitem = pb.method("getitem", params=("container", "index"))
+    gc, gi = getitem.param(0), getitem.param(1)
+    gv = getitem.vcall(gc, "get", (gi,))
+    getitem.ret(gv)
+
+    # -- the interpreter dispatch loop ----------------------------------------
+    w = pb.method("work", params=("iters", "dict_period"))
+    iters, dict_period = w.param(0), w.param(1)
+    # interpreter state
+    nstack = w.const(32)
+    stack = w.newarr(nstack)
+    nlocals = w.const(16)
+    locs = w.newarr(nlocals)
+    nops = w.const(len(_PROGRAM))
+    ops = w.newarr(nops)
+    # install the program
+    k = w.const(0)
+    one = w.const(1)
+    w.label("install")
+    w.br("ge", k, nops, "installed")
+    period = w.const(10)
+    phase = w.mod(k, period)
+    code = w.fresh()
+    w.const(OP_LOAD, dst=code)
+    # Reconstruct _PROGRAM structurally: positions map to opcodes.
+    w.br("ne", phase, w.const(1), "p2")
+    w.const(OP_ADD, dst=code)
+    w.label("p2")
+    w.br("ne", phase, w.const(2), "p3")
+    w.const(OP_GETITEM, dst=code)
+    w.label("p3")
+    w.br("ne", phase, w.const(3), "p4")
+    w.const(OP_STORE, dst=code)
+    w.label("p4")
+    w.br("ne", phase, w.const(4), "p5")
+    w.const(OP_MUL, dst=code)
+    w.label("p5")
+    w.br("ne", phase, w.const(5), "p6")
+    w.const(OP_ADD, dst=code)
+    w.label("p6")
+    w.br("ne", phase, w.const(6), "p7")
+    w.const(OP_GETITEM, dst=code)
+    w.label("p7")
+    w.br("ne", phase, w.const(8), "p8")
+    w.const(OP_ADD, dst=code)
+    w.label("p8")
+    w.br("ne", phase, w.const(9), "p9")
+    w.const(OP_STORE, dst=code)
+    w.label("p9")
+    w.astore(ops, k, code)
+    w.add(k, one, dst=k)
+    w.jmp("install")
+    w.label("installed")
+    last = w.sub(nops, one)
+    rare = w.const(OP_RARE)
+    w.astore(ops, last, rare)
+
+    # containers: the hot list and a rarely-touched dict
+    nitems = w.const(64)
+    list_items = w.newarr(nitems)
+    pylist = w.new("PyList")
+    w.putfield(pylist, "items", list_items)
+    pydict = w.new("PyDict")
+    dict_items = w.newarr(nitems)
+    w.putfield(pydict, "items", dict_items)
+    f = w.const(0)
+    w.label("fill")
+    w.br("ge", f, nitems, "filled")
+    v3 = w.mul(f, w.const(3))
+    w.astore(list_items, f, v3)
+    v7 = w.mul(f, w.const(7))
+    w.astore(dict_items, f, v7)
+    w.add(f, one, dst=f)
+    w.jmp("fill")
+    w.label("filled")
+
+    # main dispatch
+    tos = w.const(0)       # top-of-stack value (register-cached)
+    acc = w.const(0)
+    steps = w.const(0)
+    pc = w.const(0)
+    gcount = w.const(0)    # getitem counter: drives rare PyDict receivers
+    w.label("dispatch")
+    w.safepoint()
+    w.br("ge", steps, iters, "halt")
+    opcode = w.aload(ops, pc)
+    zero = w.const(0)
+    # chained dispatch (the paper: "an indirect branch [simplified] to a
+    # conditional branch (as only 2 of the 9 cases were not-cold)")
+    w.br("ne", opcode, w.const(OP_LOAD), "try_store")
+    slot = w.mod(steps, w.const(16))
+    lv = w.aload(locs, slot)
+    tagged = w.or_(lv, w.const(1))          # "boxing" flavor: tag, untag
+    untagged = w.shr(tagged, w.const(1))
+    mixed = w.xor(untagged, acc)
+    w.add(tos, mixed, dst=tos)
+    w.jmp("next")
+    w.label("try_store")
+    w.br("ne", opcode, w.const(OP_STORE), "try_add")
+    sslot = w.mod(steps, w.const(16))
+    boxed = w.shl(tos, w.const(1))
+    stamped = w.or_(boxed, w.const(1))
+    w.astore(locs, sslot, stamped)
+    w.jmp("next")
+    w.label("try_add")
+    w.br("ne", opcode, w.const(OP_ADD), "try_mul")
+    carry = w.and_(acc, w.const(15))
+    summed = w.add(acc, tos)
+    w.add(summed, carry, dst=acc)
+    w.jmp("next")
+    w.label("try_mul")
+    w.br("ne", opcode, w.const(OP_MUL), "try_getitem")
+    three = w.const(3)
+    w.mul(tos, three, dst=tos)
+    scaled = w.add(tos, w.const(17))
+    folded = w.xor(scaled, acc)
+    w.and_(folded, w.const((1 << 40) - 1), dst=tos)
+    w.jmp("next")
+    w.label("try_getitem")
+    w.br("ne", opcode, w.const(OP_GETITEM), "try_rare")
+    # choose container: PyDict once per dict_period getitems
+    w.add(gcount, one, dst=gcount)
+    container = w.fresh()
+    w.mov(pylist, dst=container)
+    w.br("le", dict_period, zero, "mono")
+    r = w.mod(gcount, dict_period)
+    w.br("ne", r, zero, "mono")
+    w.mov(pydict, dst=container)
+    w.label("mono")
+    got = w.call("getitem", (container, tos))
+    w.add(acc, got, dst=acc)
+    w.jmp("next")
+    w.label("try_rare")
+    w.br("ne", opcode, w.const(OP_RARE), "next")
+    # rare opcode: flush accumulator into the stack array
+    w.astore(stack, zero, acc)
+    w.label("next")
+    w.add(pc, one, dst=pc)
+    w.br("lt", pc, nops, "no_wrap")
+    w.const(0, dst=pc)
+    w.label("no_wrap")
+    w.add(steps, one, dst=steps)
+    w.jmp("dispatch")
+    w.label("halt")
+    out = w.xor(acc, tos)
+    w.ret(out)
+    return pb.build()
+
+
+def force_monomorphic_sites(program) -> frozenset:
+    """The grey-bar experiment: treat getitem's call site as monomorphic."""
+    method = program.resolve_static("getitem")
+    from ..lang.bytecode import Op
+
+    sites = frozenset(
+        ("getitem", pc)
+        for pc, instr in enumerate(method.instrs)
+        if instr.op is Op.VCALL
+    )
+    return sites
+
+
+WORKLOAD = Workload(
+    name="jython",
+    description="Interprets pybench-like Python bytecode (Table 2)",
+    build=build,
+    samples=[
+        Sample(warm_args=[[1500, 250]] * 5, measure_args=[[2500, 250]] * 2,
+               weight=1.0),
+    ],
+    force_monomorphic_sites=force_monomorphic_sites,
+    paper_coverage=0.87,
+    paper_region_size=227,
+    paper_abort_pct=0.69,
+    paper_speedup_aggressive=25.0,
+)

@@ -1,0 +1,135 @@
+"""pmd — Java source-analyzer analogue.
+
+The paper's problem child: "pmd actually slows down in the atomic
+configuration, because it has relatively low coverage, but incurs a 2.2%
+abort rate... the result of a behavioral change in four atomic regions
+that occurs between when the behavior is profiled and where our execution
+sample is taken" (§6.1).
+
+This program recreates that exactly: rule-checking loops over a stream of
+AST nodes whose "violation" node frequency is ~0.3% in the profiled
+documents but ~2.5% in the measured sample; the violation branch was
+asserted away, so the regions abort mid-flight.  Coverage is bounded to
+~30% by a large non-inlinable report-rendering method on the warm path.
+Adaptive recompilation (§7) recovers the loss — exercised by the
+``bench_sec7_adaptive`` benchmark.
+
+Published targets: coverage 32%, region size ~42, abort 2.2%, ~2% speedup
+only with aggressive inlining.
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from .base import Sample, Workload
+
+
+def build():
+    pb = ProgramBuilder()
+    pb.cls("RuleCtx", fields=["violations", "nodes", "hash"])
+
+    # Small helpers the inliner folds into the rule loop.
+    cls_hash = pb.method("node_hash", params=("kind", "depth"))
+    hk, hd = cls_hash.param(0), cls_hash.param(1)
+    c31 = cls_hash.const(31)
+    t = cls_hash.mul(hk, c31)
+    out = cls_hash.add(t, hd)
+    cls_hash.ret(out)
+
+    # Large report renderer: beyond the aggressive inline threshold, keeps
+    # region coverage low like pmd's reporting/XML code.
+    rep = pb.method("render_report", params=("seed", "rounds"))
+    rs, rr = rep.param(0), rep.param(1)
+    acc = rep.mov(rs)
+    j = rep.const(0)
+    one = rep.const(1)
+    c3 = rep.const(3)
+    c5 = rep.const(5)
+    c9 = rep.const(9)
+    mask = rep.const((1 << 40) - 1)
+    rep.label("rloop")
+    rep.safepoint()
+    rep.br("ge", j, rr, "rdone")
+    for _ in range(45):
+        a1 = rep.mul(acc, c3)
+        a2 = rep.add(a1, c5)
+        a3 = rep.xor(a2, c9)
+        a4 = rep.or_(a3, one)
+        a5 = rep.and_(a4, mask)
+        rep.mov(a5, dst=acc)
+    rep.add(j, one, dst=j)
+    rep.jmp("rloop")
+    rep.label("rdone")
+    rep.ret(acc)
+
+    # -- the rule-check loop ----------------------------------------------------
+    w = pb.method("work", params=("n", "violation_period"))
+    n, vperiod = w.param(0), w.param(1)
+    ctx = w.new("RuleCtx")
+    state = w.const(99991)
+    i = w.const(0)
+    one = w.const(1)
+    zero = w.const(0)
+    w.label("scan")
+    w.safepoint()
+    w.br("ge", i, n, "report")
+    # pseudo-random node kind/depth
+    m1 = w.const(1103515245)
+    m2 = w.const(12345)
+    s1 = w.mul(state, m1)
+    s2 = w.add(s1, m2)
+    mask31 = w.const((1 << 31) - 1)
+    w.and_(s2, mask31, dst=state)
+    kind = w.mod(state, w.const(23))
+    depth = w.mod(state, w.const(7))
+    h = w.call("node_hash", (kind, depth))
+    oldh = w.getfield(ctx, "hash")
+    newh = w.xor(oldh, h)
+    w.putfield(ctx, "hash", newh)
+    nodes = w.getfield(ctx, "nodes")
+    n2 = w.add(nodes, one)
+    w.putfield(ctx, "nodes", n2)
+    # Violation branch: cold in the profiled phase, warm in the sample.
+    w.br("le", vperiod, zero, "next")
+    r = w.mod(i, vperiod)
+    w.br("ne", r, zero, "next")
+    v = w.getfield(ctx, "violations")
+    v2 = w.add(v, one)
+    w.putfield(ctx, "violations", v2)
+    vh = w.mul(newh, w.const(17))
+    w.putfield(ctx, "hash", vh)
+    w.label("next")
+    w.add(i, one, dst=i)
+    w.jmp("scan")
+    w.label("report")
+    # Render a report chunk every document: the coverage-bounding warm call.
+    rounds = w.const(90)
+    digest = w.call("render_report", (state, rounds))
+    viol = w.getfield(ctx, "violations")
+    hsh = w.getfield(ctx, "hash")
+    big = w.const(1 << 22)
+    vm_ = w.mul(viol, big)
+    d1 = w.add(digest, vm_)
+    out = w.xor(d1, hsh)
+    w.ret(out)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="pmd",
+    description="Analyzes a set of Java classes for rule violations (Table 2)",
+    build=build,
+    samples=[
+        # Four phases (Table 2: 4 samples).  Profiling sees violations every
+        # 400 nodes (0.25%: cold); the measured documents trigger them every
+        # 40 nodes (2.5%) in the phases with the behavior change.
+        Sample(warm_args=[[300, 2000]] * 5, measure_args=[[350, 400]], weight=0.3),
+        Sample(warm_args=[[300, 2000]] * 5, measure_args=[[350, 420]], weight=0.3),
+        Sample(warm_args=[[300, 2000]] * 5, measure_args=[[350, 440]], weight=0.2),
+        Sample(warm_args=[[300, 2000]] * 5, measure_args=[[350, 2000]], weight=0.2),
+    ],
+    paper_coverage=0.32,
+    paper_region_size=42,
+    paper_abort_pct=2.2,
+    paper_speedup_aggressive=2.0,
+)

@@ -1,0 +1,365 @@
+"""Tests for atomic-region formation, asserts, SLE, and partial inlining."""
+
+import pytest
+
+from repro.atomic import (
+    FormationConfig,
+    apply_sle,
+    blocks_by_region,
+    candidate_positions,
+    eliminate_postdominated_checks,
+    form_regions,
+    pi_cost,
+    select_acyclic_boundaries,
+    trace_dominant_path,
+)
+from repro.ir import Kind, build_ir, verify_graph
+from repro.lang import ProgramBuilder
+from repro.opt import InlineConfig, Inliner, optimize
+from repro.testutil import (
+    assert_same_outcome,
+    outcome_bytecode,
+    outcome_ir,
+    profiled,
+    random_program,
+)
+
+
+def hot_cold_loop_program(n_iters=200, cold_every=0):
+    """A hot loop with a cold path taken every ``cold_every`` iterations
+    (never, when 0) — the canonical region-formation shape."""
+    pb = ProgramBuilder()
+    pb.cls("Acc", fields=["total", "spill"])
+    m = pb.method("main", params=("n", "cold_every"))
+    n, ce = m.param(0), m.param(1)
+    acc = m.new("Acc")
+    i = m.const(0)
+    one = m.const(1)
+    zero = m.const(0)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    # hot body: total += i
+    t = m.getfield(acc, "total")
+    t2 = m.add(t, i)
+    m.putfield(acc, "total", t2)
+    # cold path: every `cold_every` iterations, spill
+    m.br("le", ce, zero, "next")
+    r = m.mod(i, ce)
+    m.br("ne", r, zero, "next")
+    m.br("eq", zero, zero, "cold")
+    m.label("cold")
+    s = m.getfield(acc, "spill")
+    s2 = m.add(s, one)
+    m.putfield(acc, "spill", s2)
+    m.label("next")
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    out = m.getfield(acc, "total")
+    sp = m.getfield(acc, "spill")
+    out2 = m.mul(out, m.const(1000))
+    out3 = m.add(out2, sp)
+    m.ret(out3)
+    return pb.build()
+
+
+def form_transform(config=None, inline=False, inline_cfg=None, sle=False,
+                   opt=True):
+    """A compiler-shaped transform for differential testing."""
+
+    def transform(graph, program):
+        from repro.testutil.diff import profiled  # noqa: F401
+
+        profiles = transform.profiles
+        inline_result = None
+        if inline:
+            inliner = Inliner(program, profiles, inline_cfg or InlineConfig())
+            root = program.resolve_static(transform.entry)
+            inline_result = inliner.run(graph, root)
+        result = form_regions(graph, inline_result, config)
+        transform.result = result
+        if opt:
+            optimize(graph, verify=False)
+        if sle:
+            apply_sle(graph)
+            optimize(graph, verify=False)
+        return None
+
+    transform.entry = "main"
+    return transform
+
+
+class TestEquationOne:
+    def test_pi_cost_zero_at_target(self):
+        assert pi_cost(200, 200) == 0.0
+
+    def test_pi_cost_symmetric_penalty(self):
+        assert pi_cost(100, 200) > 0
+        assert pi_cost(0, 200) == float("inf")
+
+    def test_pi_prefers_balanced_split(self):
+        # Splitting 400 ops at the midpoint beats a 100/300 split.
+        balanced = pi_cost(200, 200) + pi_cost(200, 200)
+        skewed = pi_cost(100, 200) + pi_cost(300, 200)
+        assert balanced < skewed
+
+
+class TestBoundarySelection:
+    def test_loop_gets_per_iteration_region(self):
+        program = hot_cold_loop_program()
+        profiles = profiled(program, args=(300, 0))
+        executor = assert_same_outcome(
+            program, transform=form_transform(), args=(300, 0),
+            profiles=profiles,
+        )
+        # Regions were entered and committed, and no aborts occurred.
+        assert executor.regions_entered > 0
+        assert executor.regions_committed == executor.regions_entered
+        assert not executor.aborts
+
+    def test_asserts_fire_and_recover(self):
+        program = hot_cold_loop_program()
+        # Profile with the cold path never taken...
+        profiles = profiled(program, args=(300, 0))
+        # ...then execute with the cold path taken every 10 iterations.
+        executor = assert_same_outcome(
+            program, transform=form_transform(), args=(300, 10),
+            profiles=profiles,
+        )
+        assert executor.regions_entered > 0
+        assert any(a.reason == "assert" for a in executor.aborts)
+
+    def test_region_code_contains_asserts_not_branches(self):
+        program = hot_cold_loop_program()
+        profiles = profiled(program, args=(300, 0))
+        t = form_transform(opt=False)
+        assert_same_outcome(program, transform=t, args=(300, 0),
+                            profiles=profiles)
+        result = t.result
+        assert result.regions
+        region = result.regions[0]
+        assert region.asserts, "cold branches should have become asserts"
+
+
+class TestDifferentialFormation:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_formed_random_programs_same_input(self, seed):
+        program = random_program(seed + 5000, parametric=True)
+        profiles = profiled(program, args=(1,))
+        assert_same_outcome(
+            program, transform=form_transform(), args=(1,), profiles=profiles
+        )
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_formed_random_programs_shifted_input(self, seed):
+        """Profile with p=1, execute with p=-7: cold paths execute, asserts
+        fire, recovery must produce identical results."""
+        program = random_program(seed + 5000, parametric=True)
+        profiles = profiled(program, args=(1,))
+        assert_same_outcome(
+            program, transform=form_transform(), args=(-7,), profiles=profiles
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_formed_with_inlining_and_sle(self, seed):
+        program = random_program(seed + 6000, parametric=True)
+        profiles = profiled(program, args=(2,))
+        assert_same_outcome(
+            program,
+            transform=form_transform(inline=True, sle=True),
+            args=(2,),
+            profiles=profiles,
+        )
+        assert_same_outcome(
+            program,
+            transform=form_transform(inline=True, sle=True),
+            args=(-9,),
+            profiles=profiles,
+        )
+
+
+class TestPartialInlining:
+    def make_program(self):
+        """Hot loop calling addElement-style method with hot/cold paths."""
+        pb = ProgramBuilder()
+        pb.cls("Vec", fields=["data", "idx"])
+        add = pb.method("add_element", params=("vec", "x"))
+        vec, x = add.param(0), add.param(1)
+        data = add.getfield(vec, "data")
+        idx = add.getfield(vec, "idx")
+        length = add.alen(data)
+        add.br("ge", idx, length, "grow")
+        add.astore(data, idx, x)
+        one = add.const(1)
+        idx2 = add.add(idx, one)
+        add.putfield(vec, "idx", idx2)
+        add.ret(idx2)
+        add.label("grow")  # cold: allocate bigger array, copy (simplified)
+        two = add.const(2)
+        nlen = add.mul(length, two)
+        bigger = add.newarr(nlen)
+        j = add.const(0)
+        one2 = add.const(1)
+        add.label("copy")
+        add.br("ge", j, length, "copied")
+        v = add.aload(data, j)
+        add.astore(bigger, j, v)
+        add.add(j, one2, dst=j)
+        add.jmp("copy")
+        add.label("copied")
+        add.putfield(vec, "data", bigger)
+        add.astore(bigger, idx, x)
+        idx3 = add.add(idx, one2)
+        add.putfield(vec, "idx", idx3)
+        add.ret(idx3)
+
+        m = pb.method("main", params=("n",))
+        n = m.param(0)
+        vec = m.new("Vec")
+        cap = m.const(64)
+        arr = m.newarr(cap)
+        m.putfield(vec, "data", arr)
+        zero = m.const(0)
+        m.putfield(vec, "idx", zero)
+        i = m.const(0)
+        one = m.const(1)
+        m.label("head")
+        m.safepoint()
+        m.br("ge", i, n, "done")
+        m.call("add_element", (vec, i))
+        m.call("add_element", (vec, i))
+        m.add(i, one, dst=i)
+        m.jmp("head")
+        m.label("done")
+        out = m.getfield(vec, "idx")
+        m.ret(out)
+        return pb.build()
+
+    def test_partial_inline_hot_path_no_growth(self):
+        program = self.make_program()
+        profiles = profiled(program, args=(20,))  # never grows (64 slots)
+        t = form_transform(inline=True,
+                           inline_cfg=InlineConfig(aggressive=True))
+        executor = assert_same_outcome(
+            program, transform=t, args=(20,), profiles=profiles
+        )
+        assert t.result.regions, "expected regions around the loop"
+        assert executor.regions_entered > 0
+
+    def test_partial_inline_cold_path_aborts_to_real_call(self):
+        program = self.make_program()
+        profiles = profiled(program, args=(20,))
+        t = form_transform(inline=True,
+                           inline_cfg=InlineConfig(aggressive=True))
+        # 40 insertions into a 64-slot vector: growth (cold path) happens.
+        executor = assert_same_outcome(
+            program, transform=t, args=(40,), profiles=profiles
+        )
+        assert any(a.reason == "assert" for a in executor.aborts)
+
+
+class TestSLE:
+    def make_program(self):
+        pb = ProgramBuilder()
+        pb.cls("Counter", fields=["v"])
+        bump = pb.method("bump", params=("this",), owner="Counter",
+                         synchronized=True)
+        this = bump.param(0)
+        v = bump.getfield(this, "v")
+        one = bump.const(1)
+        v2 = bump.add(v, one)
+        bump.putfield(this, "v", v2)
+        bump.ret(v2)
+
+        m = pb.method("main", params=("n",))
+        n = m.param(0)
+        c = m.new("Counter")
+        i = m.const(0)
+        one = m.const(1)
+        m.label("head")
+        m.safepoint()
+        m.br("ge", i, n, "done")
+        m.vcall(c, "bump")
+        m.add(i, one, dst=i)
+        m.jmp("head")
+        m.label("done")
+        out = m.getfield(c, "v")
+        m.ret(out)
+        return pb.build()
+
+    def test_monitors_elided_in_region(self):
+        program = self.make_program()
+        profiles = profiled(program, args=(150,))
+        t = form_transform(inline=True, sle=True,
+                           inline_cfg=InlineConfig(aggressive=True))
+        executor = assert_same_outcome(
+            program, transform=t, args=(150,), profiles=profiles
+        )
+        assert executor.regions_entered > 0
+
+    def test_sle_counts_pairs(self):
+        program = self.make_program()
+        profiles = profiled(program, args=(150,))
+
+        elided = []
+
+        def transform(graph, program_):
+            inliner = Inliner(program_, profiles, InlineConfig(aggressive=True))
+            result = inliner.run(graph, program_.resolve_static("main"))
+            form_regions(graph, result)
+            optimize(graph)
+            elided.append(apply_sle(graph))
+            optimize(graph)
+
+        assert_same_outcome(program, transform=transform, args=(150,),
+                            profiles=profiles)
+        assert elided[0] >= 1
+
+
+class TestPostDomChecks:
+    def test_subsumed_check_removed(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("n",))
+        n = m.param(0)
+        cap = m.const(8)
+        arr = m.newarr(cap)
+        i = m.const(0)
+        one = m.const(1)
+        limit = m.const(6)
+        m.label("head")
+        m.safepoint()
+        m.br("ge", i, limit, "done")
+        m.astore(arr, i, i)        # check_bounds(len, i)
+        i1 = m.add(i, one)
+        m.astore(arr, i1, i1)      # check_bounds(len, i+1) subsumes the above
+        m.add(i, one, dst=i)
+        m.jmp("head")
+        m.label("done")
+        z = m.const(0)
+        out = m.aload(arr, z)
+        m.ret(out)
+        program = pb.build()
+        profiles = profiled(program, args=(0,))
+
+        counts = {}
+
+        def transform(graph, program_):
+            # The loop has no cold paths, so keep its region despite the
+            # no-benefit policy: the benefit here IS the postdom check elim.
+            form_regions(graph, None, FormationConfig(require_benefit=False))
+            optimize(graph)
+            def count():
+                return sum(
+                    1 for b in graph.blocks for op in b.ops
+                    if op.kind is Kind.CHECK_BOUNDS
+                )
+            counts["before"] = count()
+            counts["removed"] = eliminate_postdominated_checks(graph)
+            counts["after"] = count()
+            optimize(graph)
+
+        assert_same_outcome(program, transform=transform, args=(0,),
+                            profiles=profiles)
+        assert counts["removed"] >= 1
+        assert counts["after"] == counts["before"] - counts["removed"]

@@ -1,0 +1,219 @@
+"""Tests for IR construction, analyses, and the IR executor."""
+
+import pytest
+
+from repro.ir import (
+    Kind,
+    build_ir,
+    dominator_tree,
+    find_loops,
+    format_graph,
+    loop_path_length,
+    postdominator_tree,
+    verify_graph,
+)
+from repro.lang import ProgramBuilder
+from repro.testutil import (
+    assert_same_outcome,
+    outcome_bytecode,
+    outcome_ir,
+    profiled,
+    random_program,
+)
+
+
+def loop_sum_program():
+    pb = ProgramBuilder()
+    m = pb.method("main", params=("n",))
+    n = m.param(0)
+    total = m.const(0)
+    i = m.const(0)
+    one = m.const(1)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    m.add(total, i, dst=total)
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    m.ret(total)
+    return pb.build()
+
+
+def diamond_program():
+    pb = ProgramBuilder()
+    m = pb.method("main", params=("x",))
+    x = m.param(0)
+    zero = m.const(0)
+    out = m.fresh()
+    m.const(0, dst=out)
+    m.br("lt", x, zero, "neg")
+    m.const(1, dst=out)
+    m.jmp("join")
+    m.label("neg")
+    m.const(-1, dst=out)
+    m.label("join")
+    m.ret(out)
+    return pb.build()
+
+
+class TestBuild:
+    def test_loop_graph_verifies(self):
+        graph = build_ir(loop_sum_program().resolve_static("main"))
+        verify_graph(graph)
+
+    def test_diamond_has_phi_at_join(self):
+        graph = build_ir(diamond_program().resolve_static("main"))
+        verify_graph(graph)
+        joins = [b for b in graph.blocks if len(b.preds) == 2]
+        assert joins and any(b.phis for b in joins)
+
+    def test_checks_inserted_for_heap_ops(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main")
+        obj = m.new("C")
+        v = m.getfield(obj, "f")
+        n = m.const(4)
+        arr = m.newarr(n)
+        idx = m.const(1)
+        m.astore(arr, idx, v)
+        m.ret(v)
+        graph = build_ir(pb.build().resolve_static("main"))
+        kinds = [node.kind for b in graph.blocks for node in b.ops]
+        assert Kind.CHECK_NULL in kinds
+        assert Kind.CHECK_BOUNDS in kinds
+        assert Kind.ALEN in kinds
+
+    def test_profile_attaches_counts(self):
+        program = loop_sum_program()
+        profiles = profiled(program, args=(50,))
+        graph = build_ir(program.resolve_static("main"),
+                         profiles.method("main"))
+        verify_graph(graph)
+        assert max(b.count for b in graph.blocks) >= 50
+        branches = [
+            b.terminator for b in graph.blocks
+            if b.terminator.kind is Kind.BRANCH
+        ]
+        assert any("edge_counts" in t.attrs for t in branches)
+
+    def test_printer_smoke(self):
+        graph = build_ir(loop_sum_program().resolve_static("main"))
+        text = format_graph(graph)
+        assert "branch" in text and "return" in text
+
+
+class TestAnalyses:
+    def test_dominators_of_diamond(self):
+        graph = build_ir(diamond_program().resolve_static("main"))
+        tree = dominator_tree(graph)
+        entry = graph.entry
+        for block in graph.rpo():
+            assert tree.dominates(entry, block)
+        join = next(b for b in graph.blocks if len(b.preds) == 2)
+        sides = join.pred_blocks()
+        assert not tree.dominates(sides[0], join) or not tree.dominates(sides[1], join)
+
+    def test_postdominators_of_diamond(self):
+        graph = build_ir(diamond_program().resolve_static("main"))
+        tree, virtual = postdominator_tree(graph)
+        join = next(b for b in graph.blocks if len(b.preds) == 2)
+        branch_block = next(
+            b for b in graph.blocks if b.terminator.kind is Kind.BRANCH
+        )
+        assert tree.dominates(join, branch_block)
+        assert tree.dominates(virtual, branch_block)
+
+    def test_loop_discovery(self):
+        program = loop_sum_program()
+        profiles = profiled(program, args=(25,))
+        graph = build_ir(program.resolve_static("main"), profiles.method("main"))
+        forest = find_loops(graph)
+        assert len(forest.loops) == 1
+        loop = forest.loops[0]
+        assert loop.back_edges
+        assert loop_path_length(loop) > 0
+        assert 20 <= loop.trip_estimate() <= 30
+
+    def test_nested_loops(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        total = m.const(0)
+        i = m.const(0)
+        limit = m.const(5)
+        one = m.const(1)
+        m.label("outer")
+        m.br("ge", i, limit, "done")
+        j = m.const(0)
+        m.label("inner")
+        m.br("ge", j, limit, "outer_next")
+        m.add(total, one, dst=total)
+        m.add(j, one, dst=j)
+        m.jmp("inner")
+        m.label("outer_next")
+        m.add(i, one, dst=i)
+        m.jmp("outer")
+        m.label("done")
+        m.ret(total)
+        program = pb.build()
+        assert outcome_bytecode(program).value == 25
+        graph = build_ir(program.resolve_static("main"))
+        verify_graph(graph)
+        forest = find_loops(graph)
+        assert len(forest.loops) == 2
+        postorder = forest.in_postorder()
+        # Innermost (child) loop first.
+        assert postorder[0].parent is postorder[1]
+
+
+class TestDifferentialExecution:
+    def test_loop_sum(self):
+        assert_same_outcome(loop_sum_program(), args=(10,))
+
+    def test_diamond_both_sides(self):
+        assert_same_outcome(diamond_program(), args=(5,))
+        assert_same_outcome(diamond_program(), args=(-5,))
+
+    def test_guest_error_propagates_identically(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        n = m.const(2)
+        arr = m.newarr(n)
+        bad = m.const(7)
+        m.aload(arr, bad)
+        m.ret()
+        program = pb.build()
+        expected = outcome_bytecode(program)
+        actual, _ = outcome_ir(program)
+        assert expected.error == "BoundsError"
+        assert actual == expected
+
+    def test_virtual_calls_through_dispatcher(self):
+        pb = ProgramBuilder()
+        pb.cls("A")
+        pb.cls("B", super_name="A")
+        fa = pb.method("v", params=("this",), owner="A")
+        c1 = fa.const(10)
+        fa.ret(c1)
+        fb = pb.method("v", params=("this",), owner="B")
+        c2 = fb.const(20)
+        fb.ret(c2)
+        m = pb.method("main")
+        a = m.new("A")
+        b = m.new("B")
+        ra = m.vcall(a, "v")
+        rb = m.vcall(b, "v")
+        out = m.add(ra, rb)
+        m.ret(out)
+        assert_same_outcome(pb.build())
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_programs_roundtrip(self, seed):
+        program = random_program(seed)
+        assert_same_outcome(program)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_heapless_programs(self, seed):
+        program = random_program(seed + 1000, allow_heap=False)
+        assert_same_outcome(program)

@@ -1,0 +1,213 @@
+"""Unit tests for the program/method builders and the validator."""
+
+import pytest
+
+from repro.lang import (
+    MethodBuilder,
+    Op,
+    ProgramBuilder,
+    ValidationError,
+    validate_program,
+)
+from repro.runtime import Interpreter
+
+
+def run_static(program, name, args=()):
+    return Interpreter(program, fuel=1_000_000).run(name, list(args))
+
+
+class TestMethodBuilder:
+    def test_label_patching(self):
+        b = MethodBuilder("f", params=("n",))
+        n = b.param(0)
+        zero = b.const(0)
+        b.br("le", n, zero, "neg")
+        one = b.const(1)
+        b.ret(one)
+        b.label("neg")
+        minus = b.const(-1)
+        b.ret(minus)
+        method = b.build()
+        br = next(i for i in method.instrs if i.op is Op.BR)
+        assert method.instrs[br.target].op is Op.CONST
+        assert method.instrs[br.target].imm == -1
+
+    def test_undefined_label_raises(self):
+        b = MethodBuilder("f")
+        b.jmp("nowhere")
+        with pytest.raises(ValueError, match="nowhere"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = MethodBuilder("f")
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_implicit_ret_appended(self):
+        b = MethodBuilder("f")
+        b.const(5)
+        method = b.build()
+        assert method.instrs[-1].op is Op.RET
+
+    def test_named_vars_are_stable(self):
+        b = MethodBuilder("f", params=("p",))
+        assert b.var("p") == b.param(0)
+        x = b.var("x")
+        assert b.var("x") == x
+        assert b.var("y") != x
+
+    def test_param_out_of_range(self):
+        b = MethodBuilder("f", params=("p",))
+        with pytest.raises(IndexError):
+            b.param(1)
+
+    def test_bad_condition_rejected(self):
+        b = MethodBuilder("f", params=("a", "b"))
+        with pytest.raises(ValueError):
+            b.br("spaceship", b.param(0), b.param(1), "x")
+
+
+class TestSynchronizedLowering:
+    def test_monitor_pair_wraps_body(self):
+        pb = ProgramBuilder()
+        pb.cls("C")
+        m = pb.method("f", params=("this",), owner="C", synchronized=True)
+        v = m.const(42)
+        m.ret(v)
+        program = pb.build()
+        instrs = program.classes["C"].methods["f"].instrs
+        assert instrs[0].op is Op.MENTER
+        ret_index = next(i for i, ins in enumerate(instrs) if ins.op is Op.RET)
+        assert instrs[ret_index - 1].op is Op.MEXIT
+
+    def test_branch_targets_shifted(self):
+        pb = ProgramBuilder()
+        pb.cls("C")
+        m = pb.method("f", params=("this", "n"), owner="C", synchronized=True)
+        n = m.param(1)
+        zero = m.const(0)
+        m.br("le", n, zero, "done")
+        one = m.const(1)
+        m.ret(one)
+        m.label("done")
+        m.ret(zero)
+        program = pb.build()
+        validate_program(program)
+        method = program.classes["C"].methods["f"]
+        br = next(i for i in method.instrs if i.op is Op.BR)
+        # Target lands on the MEXIT that guards the 'done' return.
+        assert method.instrs[br.target].op is Op.MEXIT
+
+    def test_synchronized_needs_receiver(self):
+        b = MethodBuilder("f", params=(), synchronized=True)
+        b.ret()
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_synchronized_executes_and_releases(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["v"])
+        m = pb.method("bump", params=("this",), owner="C", synchronized=True)
+        this = m.param(0)
+        v = m.getfield(this, "v")
+        one = m.const(1)
+        nv = m.add(v, one)
+        m.putfield(this, "v", nv)
+        m.ret(nv)
+        main = pb.method("main")
+        obj = main.new("C")
+        r1 = main.vcall(obj, "bump")
+        r2 = main.vcall(obj, "bump")
+        main.ret(r2)
+        program = pb.build()
+        validate_program(program)
+        assert run_static(program, "main") == 2
+
+
+class TestValidator:
+    def test_valid_program_passes(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        v = m.const(1)
+        m.ret(v)
+        validate_program(pb.build())
+
+    def test_branch_target_out_of_range(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        m.const(0)
+        m.ret()
+        program = pb.build()
+        program.methods["main"].instrs[0] = type(program.methods["main"].instrs[0])(
+            Op.JMP, target=99
+        )
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_program(program)
+
+    def test_read_before_write_detected(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        ghost = m.fresh()
+        m.ret(ghost)
+        with pytest.raises(ValidationError, match="read"):
+            validate_program(pb.build())
+
+    def test_conditionally_defined_register_flagged(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("p",))
+        p = m.param(0)
+        zero = m.const(0)
+        out = m.fresh()
+        m.br("le", p, zero, "skip")
+        m.const(7, dst=out)
+        m.label("skip")
+        m.ret(out)  # undefined when branch taken
+        with pytest.raises(ValidationError, match="read"):
+            validate_program(pb.build())
+
+    def test_unknown_callee_detected(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        m.call("ghost")
+        m.ret()
+        with pytest.raises(ValidationError, match="ghost"):
+            validate_program(pb.build())
+
+    def test_arity_mismatch_detected(self):
+        pb = ProgramBuilder()
+        f = pb.method("f", params=("a", "b"))
+        f.ret(f.param(0))
+        m = pb.method("main")
+        arg = m.const(1)
+        m.call("f", (arg,))
+        m.ret()
+        with pytest.raises(ValidationError, match="expects 2"):
+            validate_program(pb.build())
+
+    def test_unknown_class_detected(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        m.new("Ghost")
+        m.ret()
+        with pytest.raises(ValidationError, match="Ghost"):
+            validate_program(pb.build())
+
+    def test_inheritance_cycle_detected(self):
+        pb = ProgramBuilder()
+        pb.cls("A", super_name="B")
+        pb.cls("B", super_name="A")
+        m = pb.method("main")
+        m.ret()
+        with pytest.raises(ValidationError, match="cycle"):
+            validate_program(pb.build())
+
+    def test_unknown_virtual_method_detected(self):
+        pb = ProgramBuilder()
+        pb.cls("A")
+        m = pb.method("main")
+        obj = m.new("A")
+        m.vcall(obj, "ghost")
+        m.ret()
+        with pytest.raises(ValidationError, match="ghost"):
+            validate_program(pb.build())

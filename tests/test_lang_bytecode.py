@@ -1,0 +1,105 @@
+"""Unit tests for the bytecode model: programs, classes, layouts, vtables."""
+
+import pytest
+
+from repro.lang import ClassDef, Instr, Method, Op, Program
+
+
+def make_method(name="m", owner=None, instrs=None, num_params=0, num_regs=4):
+    return Method(
+        name=name,
+        num_params=num_params,
+        instrs=instrs if instrs is not None else [Instr(Op.RET)],
+        num_regs=num_regs,
+        owner=owner,
+    )
+
+
+class TestProgramStructure:
+    def test_add_and_resolve_static_method(self):
+        program = Program()
+        m = make_method("main")
+        program.add_method(m)
+        assert program.resolve_static("main") is m
+
+    def test_duplicate_static_method_rejected(self):
+        program = Program()
+        program.add_method(make_method("main"))
+        with pytest.raises(ValueError):
+            program.add_method(make_method("main"))
+
+    def test_duplicate_class_rejected(self):
+        program = Program()
+        program.add_class(ClassDef("A"))
+        with pytest.raises(ValueError):
+            program.add_class(ClassDef("A"))
+
+    def test_unknown_static_method(self):
+        with pytest.raises(KeyError):
+            Program().resolve_static("missing")
+
+    def test_qualified_name(self):
+        assert make_method("f").qualified_name == "f"
+        assert make_method("f", owner="C").qualified_name == "C.f"
+
+
+class TestFieldLayout:
+    def test_simple_layout(self):
+        program = Program()
+        program.add_class(ClassDef("A", fields=["x", "y"]))
+        assert program.field_layout("A") == {"x": 0, "y": 1}
+
+    def test_inherited_fields_come_first(self):
+        program = Program()
+        program.add_class(ClassDef("Base", fields=["a"]))
+        program.add_class(ClassDef("Derived", fields=["b", "c"], super_name="Base"))
+        assert program.field_layout("Derived") == {"a": 0, "b": 1, "c": 2}
+
+    def test_shadowed_field_shares_slot(self):
+        program = Program()
+        program.add_class(ClassDef("Base", fields=["a"]))
+        program.add_class(ClassDef("Derived", fields=["a", "b"], super_name="Base"))
+        layout = program.field_layout("Derived")
+        assert layout["a"] == 0 and layout["b"] == 1
+
+    def test_layout_cache_invalidated_on_new_class(self):
+        program = Program()
+        program.add_class(ClassDef("A", fields=["x"]))
+        assert program.field_layout("A") == {"x": 0}
+        program.add_class(ClassDef("B", fields=["y"], super_name="A"))
+        assert program.field_layout("B") == {"x": 0, "y": 1}
+
+
+class TestVirtualDispatch:
+    def test_vtable_inheritance_and_override(self):
+        program = Program()
+        program.add_class(ClassDef("Base"))
+        program.add_class(ClassDef("Derived", super_name="Base"))
+        base_m = make_method("f", owner="Base")
+        program.add_method(base_m)
+        assert program.resolve_virtual("Derived", "f") is base_m
+        override = make_method("f", owner="Derived")
+        program.add_method(override)
+        assert program.resolve_virtual("Derived", "f") is override
+        assert program.resolve_virtual("Base", "f") is base_m
+
+    def test_missing_virtual_method(self):
+        program = Program()
+        program.add_class(ClassDef("A"))
+        with pytest.raises(KeyError):
+            program.resolve_virtual("A", "nope")
+
+    def test_all_methods_enumerates_statics_and_virtuals(self):
+        program = Program()
+        program.add_class(ClassDef("A"))
+        program.add_method(make_method("s"))
+        program.add_method(make_method("v", owner="A"))
+        names = {m.qualified_name for m in program.all_methods()}
+        assert names == {"s", "A.v"}
+
+
+class TestInstrRepr:
+    def test_repr_is_stable(self):
+        instr = Instr(Op.ADD, dst=2, a=0, b=1)
+        text = repr(instr)
+        assert "add" in text and "r2" in text

@@ -1,0 +1,399 @@
+"""Tests for the classical optimization passes."""
+
+import pytest
+
+from repro.ir import Kind, build_ir, verify_graph
+from repro.lang import ProgramBuilder
+from repro.opt import (
+    eliminate_dead_code,
+    eliminate_loads,
+    fold_constants,
+    optimize,
+    simplify_cfg,
+    value_number,
+)
+from repro.testutil import assert_same_outcome, profiled, random_program
+
+
+def opt_transform(graph, program):
+    optimize(graph, verify=True)
+
+
+def count_kind(graph, kind):
+    return sum(1 for b in graph.blocks for n in b.ops if n.kind is kind)
+
+
+class TestConstFold:
+    def test_folds_constant_arithmetic(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        a = m.const(6)
+        b = m.const(7)
+        c = m.mul(a, b)
+        m.ret(c)
+        graph = build_ir(pb.build().resolve_static("main"))
+        fold_constants(graph)
+        verify_graph(graph)
+        consts = [
+            n.attrs["imm"] for blk in graph.blocks for n in blk.ops
+            if n.kind is Kind.CONST
+        ]
+        assert 42 in consts
+        assert count_kind(graph, Kind.MUL) == 0
+
+    def test_identities(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x",))
+        x = m.param(0)
+        zero = m.const(0)
+        one = m.const(1)
+        t1 = m.add(x, zero)       # x
+        t2 = m.mul(t1, one)       # x
+        t3 = m.sub(t2, zero)      # x
+        t4 = m.xor(t3, t3)        # 0
+        out = m.add(x, t4)        # x
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        fold_constants(graph)
+        eliminate_dead_code(graph)
+        verify_graph(graph)
+        # Everything but the return of the parameter should fold away.
+        arith = sum(count_kind(graph, k) for k in (Kind.ADD, Kind.SUB, Kind.MUL, Kind.XOR))
+        assert arith == 0
+
+    def test_check_div0_removed_for_nonzero_const(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x",))
+        seven = m.const(7)
+        q = m.div(m.param(0), seven)
+        m.ret(q)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert count_kind(graph, Kind.CHECK_DIV0) == 1
+        fold_constants(graph)
+        assert count_kind(graph, Kind.CHECK_DIV0) == 0
+
+    def test_check_null_removed_for_fresh_allocation(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main")
+        obj = m.new("C")
+        v = m.getfield(obj, "f")
+        m.ret(v)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert count_kind(graph, Kind.CHECK_NULL) == 1
+        fold_constants(graph)
+        assert count_kind(graph, Kind.CHECK_NULL) == 0
+
+    def test_div_by_zero_not_folded(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        a = m.const(5)
+        z = m.const(0)
+        q = m.div(a, z)
+        m.ret(q)
+        program = pb.build()
+        graph = build_ir(program.resolve_static("main"))
+        fold_constants(graph)
+        assert count_kind(graph, Kind.DIV) == 1  # trap preserved
+        assert_same_outcome(program, transform=opt_transform)
+
+    def test_alen_of_newarr_folds(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        n = m.const(9)
+        arr = m.newarr(n)
+        length = m.alen(arr)
+        m.ret(length)
+        graph = build_ir(pb.build().resolve_static("main"))
+        fold_constants(graph)
+        assert count_kind(graph, Kind.ALEN) == 0
+
+
+class TestSimplify:
+    def test_constant_branch_folds_to_jump(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        a = m.const(1)
+        b = m.const(2)
+        m.br("lt", a, b, "yes")
+        dead = m.const(111)
+        m.ret(dead)
+        m.label("yes")
+        live = m.const(222)
+        m.ret(live)
+        program = pb.build()
+        graph = build_ir(program.resolve_static("main"))
+        simplify_cfg(graph)
+        verify_graph(graph)
+        assert all(
+            blk.terminator.kind is not Kind.BRANCH for blk in graph.blocks
+        )
+        assert_same_outcome(program, transform=opt_transform)
+
+    def test_straightline_merge(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        a = m.const(4)
+        m.jmp("next")
+        m.label("next")
+        b = m.const(5)
+        out = m.add(a, b)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        before = len(graph.rpo())
+        simplify_cfg(graph)
+        verify_graph(graph)
+        assert len(graph.rpo()) < before
+
+    def test_phi_with_identical_inputs_removed(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x",))
+        x = m.param(0)
+        zero = m.const(0)
+        v = m.fresh()
+        m.const(7, dst=v)
+        m.br("lt", x, zero, "other")
+        m.jmp("join")
+        m.label("other")
+        m.jmp("join")
+        m.label("join")
+        m.ret(v)
+        program = pb.build()
+        assert_same_outcome(program, transform=opt_transform, args=(1,))
+        assert_same_outcome(program, transform=opt_transform, args=(-1,))
+
+
+class TestGVN:
+    def test_duplicate_expression_removed(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x", "y"))
+        x, y = m.param(0), m.param(1)
+        a = m.add(x, y)
+        b = m.add(x, y)
+        out = m.mul(a, b)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        removed = value_number(graph)
+        verify_graph(graph)
+        assert removed == 1
+        assert count_kind(graph, Kind.ADD) == 1
+
+    def test_commutative_canonicalization(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x", "y"))
+        x, y = m.param(0), m.param(1)
+        a = m.add(x, y)
+        b = m.add(y, x)
+        out = m.sub(a, b)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert value_number(graph) == 1
+
+    def test_dominated_check_removed(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f", "g"])
+        m = pb.method("main", params=("obj",))
+        obj = m.param(0)
+        v1 = m.getfield(obj, "f")   # check_null(obj)
+        v2 = m.getfield(obj, "g")   # redundant check_null(obj)
+        out = m.add(v1, v2)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert count_kind(graph, Kind.CHECK_NULL) == 2
+        value_number(graph)
+        assert count_kind(graph, Kind.CHECK_NULL) == 1
+
+    def test_check_on_cold_path_not_hoisted(self):
+        # A check on one branch side must not disappear from the other.
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main", params=("obj", "sel"))
+        obj, sel = m.param(0), m.param(1)
+        zero = m.const(0)
+        out = m.fresh()
+        m.const(0, dst=out)
+        m.br("eq", sel, zero, "skip")
+        v = m.getfield(obj, "f")
+        m.mov(v, dst=out)
+        m.label("skip")
+        m.ret(out)
+        program = pb.build()
+        graph = build_ir(program.resolve_static("main"))
+        value_number(graph)
+        assert count_kind(graph, Kind.CHECK_NULL) == 1
+        # Null receiver down the skip path must NOT trap.
+        assert_same_outcome(program, transform=opt_transform, args=(None, 0))
+
+
+class TestLoadElim:
+    def test_redundant_field_load_removed(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main", params=("obj",))
+        obj = m.param(0)
+        v1 = m.getfield(obj, "f")
+        v2 = m.getfield(obj, "f")
+        out = m.add(v1, v2)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert eliminate_loads(graph) == 1
+        assert count_kind(graph, Kind.GETFIELD) == 1
+
+    def test_store_forwarding(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main", params=("obj", "x"))
+        obj, x = m.param(0), m.param(1)
+        m.putfield(obj, "f", x)
+        v = m.getfield(obj, "f")
+        m.ret(v)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert eliminate_loads(graph) == 1
+        assert count_kind(graph, Kind.GETFIELD) == 0
+
+    def test_aliasing_store_kills(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main", params=("a", "b"))
+        a, b = m.param(0), m.param(1)
+        v1 = m.getfield(a, "f")
+        ten = m.const(10)
+        m.putfield(b, "f", ten)  # may alias a
+        v2 = m.getfield(a, "f")
+        out = m.add(v1, v2)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert eliminate_loads(graph) == 0
+        assert count_kind(graph, Kind.GETFIELD) == 2
+
+    def test_call_kills_loads(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        h = pb.method("noop")
+        h.ret()
+        m = pb.method("main", params=("obj",))
+        obj = m.param(0)
+        v1 = m.getfield(obj, "f")
+        m.call("noop")
+        v2 = m.getfield(obj, "f")
+        out = m.add(v1, v2)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert eliminate_loads(graph) == 0
+
+    def test_array_load_forwarding_same_index(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("n",))
+        n = m.param(0)
+        arr = m.newarr(n)
+        i = m.const(0)
+        x = m.const(42)
+        m.astore(arr, i, x)
+        v = m.aload(arr, i)
+        m.ret(v)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert eliminate_loads(graph) == 1
+        assert count_kind(graph, Kind.ALOAD) == 0
+
+    def test_diamond_requires_both_paths(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main", params=("obj", "sel"))
+        obj, sel = m.param(0), m.param(1)
+        zero = m.const(0)
+        m.br("eq", sel, zero, "other")
+        m.getfield(obj, "f")
+        m.jmp("join")
+        m.label("other")
+        m.nop()
+        m.label("join")
+        v = m.getfield(obj, "f")  # only available on one path: must stay
+        m.ret(v)
+        graph = build_ir(pb.build().resolve_static("main"))
+        assert eliminate_loads(graph) == 0
+
+
+class TestDCE:
+    def test_unused_pure_ops_removed(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x",))
+        x = m.param(0)
+        m.add(x, x)           # dead
+        m.mul(x, x)           # dead
+        out = m.sub(x, x)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        removed = eliminate_dead_code(graph)
+        assert removed >= 2
+        verify_graph(graph)
+
+    def test_stores_and_calls_kept(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        sink = pb.method("sink", params=("v",))
+        sink.ret()
+        m = pb.method("main")
+        obj = m.new("C")
+        one = m.const(1)
+        m.putfield(obj, "f", one)
+        m.call("sink", (one,))
+        m.ret(one)
+        graph = build_ir(pb.build().resolve_static("main"))
+        eliminate_dead_code(graph)
+        assert count_kind(graph, Kind.PUTFIELD) == 1
+        assert count_kind(graph, Kind.CALL) == 1
+
+    def test_unused_allocation_removed(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main")
+        m.new("C")  # dead allocation
+        out = m.const(0)
+        m.ret(out)
+        graph = build_ir(pb.build().resolve_static("main"))
+        eliminate_dead_code(graph)
+        assert count_kind(graph, Kind.NEW) == 0
+
+
+class TestPipelineDifferential:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_optimized_random_programs_match(self, seed):
+        program = random_program(seed + 2000)
+        assert_same_outcome(program, transform=opt_transform)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_optimized_loopy_programs_match(self, seed):
+        program = random_program(
+            seed + 3000, max_statements=20, max_loop_trip=9
+        )
+        assert_same_outcome(program, transform=opt_transform)
+
+    def test_paper_figure3_redundancy(self):
+        """The addElement pattern: after optimization, the second inlined
+        copy's null check and length load are gone (Figure 3(b))."""
+        pb = ProgramBuilder()
+        pb.cls("V", fields=["cached", "i"])
+        m = pb.method("main", params=("v", "x", "y"))
+        v, x, y = m.param(0), m.param(1), m.param(2)
+        one = m.const(1)
+        # copy 1: cached[i] = x; i++
+        cached = m.getfield(v, "cached")
+        i = m.getfield(v, "i")
+        m.astore(cached, i, x)
+        i2 = m.add(i, one)
+        m.putfield(v, "i", i2)
+        # copy 2: cached[i] = y; i++
+        cached_b = m.getfield(v, "cached")
+        i_b = m.getfield(v, "i")
+        m.astore(cached_b, i_b, y)
+        i3 = m.add(i_b, one)
+        m.putfield(v, "i", i3)
+        m.ret(i3)
+        program = pb.build()
+        graph = build_ir(program.resolve_static("main"))
+        n_checks_before = count_kind(graph, Kind.CHECK_NULL)
+        optimize(graph, verify=True)
+        # The second getfield of `cached`, its null check, and the reload of
+        # field i are all eliminated by load elimination + GVN.
+        assert count_kind(graph, Kind.CHECK_NULL) < n_checks_before
+        assert count_kind(graph, Kind.GETFIELD) == 2  # cached, i (once each)

@@ -1,0 +1,298 @@
+"""Tests for the tier-0 interpreter: semantics, traps, and profiling."""
+
+import pytest
+
+from repro.lang import MethodBuilder, ProgramBuilder, validate_program
+from repro.runtime import (
+    BoundsError,
+    GuestArithmeticError,
+    Interpreter,
+    NullPointerError,
+    VMError,
+    guest_div,
+    guest_mod,
+    wrap_int,
+)
+
+
+def build_and_run(pb, entry="main", args=(), fuel=2_000_000):
+    program = pb.build()
+    validate_program(program)
+    interp = Interpreter(program, fuel=fuel)
+    return interp.run(entry, list(args)), interp
+
+
+def countdown_program(n):
+    """main(): loop i from n down to 0, accumulate sum."""
+    pb = ProgramBuilder()
+    m = pb.method("main", params=("n",))
+    n_reg = m.param(0)
+    total = m.const(0)
+    i = m.mov(n_reg)
+    zero = m.const(0)
+    one = m.const(1)
+    m.label("head")
+    m.safepoint()
+    m.br("le", i, zero, "done")
+    m.add(total, i, dst=total)
+    m.sub(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    m.ret(total)
+    return pb
+
+
+class TestArithmetic:
+    def test_loop_sum(self):
+        result, _ = build_and_run(countdown_program(10), args=(10,))
+        assert result == 55
+
+    def test_wrap_int_overflow(self):
+        assert wrap_int(2**63) == -(2**63)
+        assert wrap_int(-(2**63) - 1) == 2**63 - 1
+        assert wrap_int(5) == 5
+
+    def test_guest_div_truncates_toward_zero(self):
+        assert guest_div(7, 2) == 3
+        assert guest_div(-7, 2) == -3
+        assert guest_div(7, -2) == -3
+        assert guest_div(-7, -2) == 3
+
+    def test_guest_mod_sign_follows_dividend(self):
+        assert guest_mod(7, 3) == 1
+        assert guest_mod(-7, 3) == -1
+        assert guest_mod(7, -3) == 1
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(GuestArithmeticError):
+            guest_div(1, 0)
+        with pytest.raises(GuestArithmeticError):
+            guest_mod(1, 0)
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("and_", 0b1100, 0b1010, 0b1000),
+            ("or_", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 3, 2, 12),
+            ("shr", -8, 1, -4),
+        ],
+    )
+    def test_bitwise(self, op, a, b, expected):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        ra = m.const(a)
+        rb = m.const(b)
+        out = getattr(m, op)(ra, rb)
+        m.ret(out)
+        result, _ = build_and_run(pb)
+        assert result == expected
+
+
+class TestHeapSemantics:
+    def test_object_fields_roundtrip(self):
+        pb = ProgramBuilder()
+        pb.cls("Point", fields=["x", "y"])
+        m = pb.method("main")
+        p = m.new("Point")
+        x = m.const(3)
+        m.putfield(p, "x", x)
+        y = m.const(4)
+        m.putfield(p, "y", y)
+        gx = m.getfield(p, "x")
+        gy = m.getfield(p, "y")
+        out = m.add(gx, gy)
+        m.ret(out)
+        result, _ = build_and_run(pb)
+        assert result == 7
+
+    def test_array_roundtrip_and_length(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        n = m.const(5)
+        arr = m.newarr(n)
+        idx = m.const(2)
+        val = m.const(42)
+        m.astore(arr, idx, val)
+        got = m.aload(arr, idx)
+        length = m.alen(arr)
+        out = m.add(got, length)
+        m.ret(out)
+        result, _ = build_and_run(pb)
+        assert result == 47
+
+    def test_null_getfield_traps(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main")
+        nul = m.const_null()
+        m.getfield(nul, "f")
+        m.ret()
+        with pytest.raises(NullPointerError):
+            build_and_run(pb)
+
+    def test_bounds_trap(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        n = m.const(3)
+        arr = m.newarr(n)
+        bad = m.const(3)
+        m.aload(arr, bad)
+        m.ret()
+        with pytest.raises(BoundsError):
+            build_and_run(pb)
+
+    def test_negative_index_traps(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        n = m.const(3)
+        arr = m.newarr(n)
+        bad = m.const(-1)
+        m.aload(arr, bad)
+        m.ret()
+        with pytest.raises(BoundsError):
+            build_and_run(pb)
+
+    def test_fields_default_to_zero(self):
+        pb = ProgramBuilder()
+        pb.cls("C", fields=["f"])
+        m = pb.method("main")
+        obj = m.new("C")
+        v = m.getfield(obj, "f")
+        m.ret(v)
+        result, _ = build_and_run(pb)
+        assert result == 0
+
+
+class TestCalls:
+    def test_static_call(self):
+        pb = ProgramBuilder()
+        f = pb.method("double", params=("x",))
+        two = f.const(2)
+        out = f.mul(f.param(0), two)
+        f.ret(out)
+        m = pb.method("main")
+        arg = m.const(21)
+        r = m.call("double", (arg,))
+        m.ret(r)
+        result, _ = build_and_run(pb)
+        assert result == 42
+
+    def test_virtual_dispatch_picks_override(self):
+        pb = ProgramBuilder()
+        pb.cls("Base")
+        pb.cls("Derived", super_name="Base")
+        bf = pb.method("kind", params=("this",), owner="Base")
+        k = bf.const(1)
+        bf.ret(k)
+        df = pb.method("kind", params=("this",), owner="Derived")
+        k2 = df.const(2)
+        df.ret(k2)
+        m = pb.method("main")
+        obj = m.new("Derived")
+        r = m.vcall(obj, "kind")
+        m.ret(r)
+        result, _ = build_and_run(pb)
+        assert result == 2
+
+    def test_recursion(self):
+        pb = ProgramBuilder()
+        f = pb.method("fib", params=("n",))
+        n = f.param(0)
+        two = f.const(2)
+        f.br("lt", n, two, "base")
+        one = f.const(1)
+        nm1 = f.sub(n, one)
+        nm2 = f.sub(n, two)
+        a = f.call("fib", (nm1,))
+        b = f.call("fib", (nm2,))
+        out = f.add(a, b)
+        f.ret(out)
+        f.label("base")
+        f.ret(n)
+        m = pb.method("main")
+        arg = m.const(10)
+        r = m.call("fib", (arg,))
+        m.ret(r)
+        result, _ = build_and_run(pb)
+        assert result == 55
+
+
+class TestProfiling:
+    def test_branch_bias_recorded(self):
+        result, interp = build_and_run(countdown_program(100), args=(100,))
+        prof = interp.profiles.method("main")
+        assert prof.invocations == 1
+        # One branch site: taken once (exit), not-taken 100 times.
+        (bprof,) = prof.branches.values()
+        assert bprof.taken == 1
+        assert bprof.not_taken == 100
+        assert bprof.is_cold_taken()
+
+    def test_receiver_profile_recorded(self):
+        pb = ProgramBuilder()
+        pb.cls("A")
+        pb.cls("B", super_name="A")
+        f = pb.method("id", params=("this",), owner="A")
+        v = f.const(0)
+        f.ret(v)
+        m = pb.method("main")
+        a = m.new("A")
+        b = m.new("B")
+        m.vcall(a, "id")
+        m.vcall(a, "id")
+        m.vcall(b, "id")
+        m.ret()
+        _, interp = build_and_run(pb)
+        prof = interp.profiles.method("main")
+        sites = list(prof.call_sites.values())
+        assert len(sites) == 3  # three textual call sites
+        merged = {}
+        for site in sites:
+            for k, v in site.receivers.items():
+                merged[k] = merged.get(k, 0) + v
+        assert merged == {"A": 2, "B": 1}
+
+    def test_block_counts_track_loop(self):
+        _, interp = build_and_run(countdown_program(10), args=(10,))
+        prof = interp.profiles.method("main")
+        assert max(prof.block_counts.values()) >= 10
+
+    def test_fuel_exhaustion(self):
+        pb = ProgramBuilder()
+        m = pb.method("main")
+        m.label("spin")
+        m.jmp("spin")
+        program = pb.build()
+        with pytest.raises(VMError, match="fuel"):
+            Interpreter(program, fuel=1000).run("main")
+
+    def test_arity_check(self):
+        pb = ProgramBuilder()
+        m = pb.method("main", params=("x",))
+        m.ret(m.param(0))
+        program = pb.build()
+        with pytest.raises(VMError, match="expected 1"):
+            Interpreter(program).run("main", [])
+
+
+class TestHeapAddressing:
+    def test_addresses_disjoint_and_aligned(self):
+        from repro.runtime import Heap
+
+        heap = Heap()
+        o1 = heap.new_object("C", {"a": 0, "b": 1})
+        o2 = heap.new_object("C", {"a": 0, "b": 1})
+        assert o2.base >= o1.base + o1.size_bytes()
+        assert o1.base % 16 == 0 and o2.base % 16 == 0
+
+    def test_field_and_element_addresses(self):
+        from repro.runtime import Heap
+
+        heap = Heap()
+        obj = heap.new_object("C", {"a": 0, "b": 1})
+        assert obj.field_address("b") - obj.field_address("a") == 8
+        arr = heap.new_array(4)
+        assert arr.element_address(1) - arr.element_address(0) == 8
+        assert arr.length_address() < arr.element_address(0)

@@ -1,0 +1,159 @@
+"""Tests for the tiered VM and §7 adaptive recompilation."""
+
+import pytest
+
+from repro.lang import ProgramBuilder
+from repro.vm import (
+    ATOMIC,
+    AdaptiveController,
+    NO_ATOMIC,
+    TieredVM,
+    VMOptions,
+)
+
+
+def phase_change_program():
+    """A hot loop whose 'rare' path becomes frequent after profiling —
+    the paper's pmd scenario (§6.1: 'a path that initially appears cold is
+    removed from the atomic regions and then later starts to be frequently
+    executed')."""
+    pb = ProgramBuilder()
+    pb.cls("Acc", fields=["total"])
+    m = pb.method("work", params=("n", "mode"))
+    n, mode = m.param(0), m.param(1)
+    acc = m.new("Acc")
+    i = m.const(0)
+    one = m.const(1)
+    zero = m.const(0)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    t = m.getfield(acc, "total")
+    t2 = m.add(t, i)
+    m.putfield(acc, "total", t2)
+    m.br("eq", mode, zero, "next")     # mode != 0: take the 'cold' path
+    t3 = m.mul(t2, one)
+    neg = m.sub(zero, t3)
+    m.putfield(acc, "total", neg)
+    m.label("next")
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    out = m.getfield(acc, "total")
+    m.ret(out)
+    return pb.build()
+
+
+class TestTieredVM:
+    def test_auto_compilation_kicks_in(self):
+        program = phase_change_program()
+        vm = TieredVM(program, NO_ATOMIC,
+                      options=VMOptions(enable_timing=False, compile_threshold=5))
+        for _ in range(10):
+            vm.run("work", [20, 0])
+        assert "work" in vm.compiled
+        assert vm.compilations >= 1
+
+    def test_interpreted_and_compiled_agree(self):
+        program = phase_change_program()
+        vm = TieredVM(program, ATOMIC,
+                      options=VMOptions(enable_timing=False, compile_threshold=3))
+        interpreted = vm.run("work", [30, 0])
+        for _ in range(5):
+            vm.run("work", [30, 0])
+        compiled = vm.run("work", [30, 0])
+        assert "work" in vm.compiled
+        assert interpreted == compiled
+
+    def test_measurement_protocol(self):
+        program = phase_change_program()
+        vm = TieredVM(program, ATOMIC,
+                      options=VMOptions(enable_timing=True, compile_threshold=3))
+        vm.warm_up("work", [[50, 0]] * 5)
+        vm.compile_hot(min_invocations=1)
+        vm.start_measurement()
+        vm.run("work", [100, 0])
+        stats = vm.end_measurement()
+        assert stats.uops_retired > 0
+        assert stats.cycles > 0
+        assert stats.regions_entered > 0
+
+    def test_mixed_tier_calls(self):
+        """A compiled caller invoking an interpreted callee through the VM."""
+        pb = ProgramBuilder()
+        cold = pb.method("cold_helper", params=("x",))
+        two = cold.const(2)
+        out = cold.mul(cold.param(0), two)
+        cold.ret(out)
+        m = pb.method("work", params=("n",))
+        n = m.param(0)
+        total = m.const(0)
+        i = m.const(0)
+        one = m.const(1)
+        m.label("head")
+        m.safepoint()
+        m.br("ge", i, n, "done")
+        # A call too rare to compile but present on the warm path: the
+        # inliner threshold is generous, so force non-inlining via depth.
+        r = m.call("cold_helper", (i,))
+        m.add(total, r, dst=total)
+        m.add(i, one, dst=i)
+        m.jmp("head")
+        m.label("done")
+        m.ret(total)
+        program = pb.build()
+        vm = TieredVM(program, NO_ATOMIC,
+                      options=VMOptions(enable_timing=False, compile_threshold=3))
+        vm.warm_up("work", [[10]] * 5)
+        # Compile only the caller.
+        vm.compile(program.resolve_static("work"))
+        vm.start_measurement()
+        result = vm.run("work", [10])
+        stats = vm.end_measurement()
+        assert result == 2 * sum(range(10))
+
+
+class TestAdaptiveRecompilation:
+    def test_phase_change_causes_aborts_then_recovery(self):
+        program = phase_change_program()
+        vm = TieredVM(program, ATOMIC,
+                      options=VMOptions(enable_timing=False, compile_threshold=3))
+        # Profile in mode 0 (cold path never taken).
+        vm.warm_up("work", [[100, 0]] * 5)
+        vm.compile_hot(min_invocations=1)
+
+        # Phase change: mode 1 takes the formerly-cold path every iteration.
+        vm.start_measurement()
+        expected = vm.run("work", [100, 1])
+        stats_before = vm.end_measurement()
+        assert stats_before.regions_aborted > 0
+        abort_rate_before = stats_before.abort_rate
+        assert abort_rate_before > 0.02
+
+        # The adaptive controller reacts by recompiling with the offending
+        # assert blocked.
+        controller = AdaptiveController(vm, abort_rate_threshold=0.02,
+                                        min_region_entries=10)
+        decisions = controller.poll()
+        assert decisions, "controller should have recompiled"
+        assert decisions[0].method == "work"
+        assert decisions[0].blocked_pcs
+
+        # After recompilation the same workload stops aborting.
+        vm.start_measurement()
+        result = vm.run("work", [100, 1])
+        stats_after = vm.end_measurement()
+        assert result == expected
+        assert stats_after.abort_rate < abort_rate_before
+
+    def test_controller_idle_when_no_aborts(self):
+        program = phase_change_program()
+        vm = TieredVM(program, ATOMIC,
+                      options=VMOptions(enable_timing=False, compile_threshold=3))
+        vm.warm_up("work", [[100, 0]] * 5)
+        vm.compile_hot(min_invocations=1)
+        vm.start_measurement()
+        vm.run("work", [100, 0])
+        vm.end_measurement()
+        controller = AdaptiveController(vm)
+        assert controller.poll() == []

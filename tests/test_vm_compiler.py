@@ -1,0 +1,122 @@
+"""Tests for the tier-1 compiler driver and its configurations."""
+
+import pytest
+
+from repro.hw.isa import MOp
+from repro.lang import ProgramBuilder
+from repro.runtime import Interpreter, ProfileStore
+from repro.vm import (
+    ATOMIC,
+    ATOMIC_AGGRESSIVE,
+    NO_ATOMIC,
+    NO_ATOMIC_AGGRESSIVE,
+    compile_method,
+)
+
+
+def hot_cold_program():
+    pb = ProgramBuilder()
+    pb.cls("Box", fields=["v"])
+    m = pb.method("work", params=("n", "mode"))
+    n, mode = m.param(0), m.param(1)
+    box = m.new("Box")
+    i = m.const(0)
+    one = m.const(1)
+    zero = m.const(0)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    v = m.getfield(box, "v")
+    v2 = m.add(v, i)
+    m.putfield(box, "v", v2)
+    m.br("eq", mode, zero, "next")
+    neg = m.sub(zero, v2)
+    m.putfield(box, "v", neg)
+    m.label("next")
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    out = m.getfield(box, "v")
+    m.ret(out)
+    return pb.build()
+
+
+def profiled_program():
+    program = hot_cold_program()
+    profiles = ProfileStore()
+    interp = Interpreter(program, profiles=profiles)
+    method = program.resolve_static("work")
+    for _ in range(5):
+        interp.invoke(method, [100, 0])
+    return program, method, profiles
+
+
+class TestCompilerConfigs:
+    def test_four_paper_configurations(self):
+        names = {c.name for c in
+                 (NO_ATOMIC, ATOMIC, NO_ATOMIC_AGGRESSIVE, ATOMIC_AGGRESSIVE)}
+        assert names == {
+            "no-atomic", "atomic",
+            "no-atomic+aggr-inline", "atomic+aggr-inline",
+        }
+        assert not NO_ATOMIC.atomic and ATOMIC.atomic
+        assert ATOMIC_AGGRESSIVE.inline.aggressive
+        assert ATOMIC_AGGRESSIVE.inline.effective_threshold() == \
+            5 * ATOMIC.inline.effective_threshold()
+
+    def test_baseline_emits_no_region_instructions(self):
+        program, method, profiles = profiled_program()
+        record = compile_method(program, method, profiles, NO_ATOMIC)
+        ops = {i.op for i in record.compiled.instrs}
+        assert MOp.AREGION_BEGIN not in ops
+        assert MOp.AREGION_END not in ops
+        assert not record.compiled.uses_regions
+
+    def test_atomic_emits_region_instructions(self):
+        program, method, profiles = profiled_program()
+        record = compile_method(program, method, profiles, ATOMIC)
+        ops = [i.op for i in record.compiled.instrs]
+        assert MOp.AREGION_BEGIN in ops
+        assert MOp.AREGION_END in ops
+        assert MOp.AREGION_ABORT in ops  # the cold mode-branch's stub
+        assert record.compiled.uses_regions
+        assert record.formation is not None and record.formation.regions
+
+    def test_abort_table_maps_to_bytecode(self):
+        program, method, profiles = profiled_program()
+        record = compile_method(program, method, profiles, ATOMIC)
+        assert record.compiled.abort_sites
+        for abort_id, (src_pc, region_id) in record.compiled.abort_sites.items():
+            assert src_pc is None or 0 <= src_pc < len(method.instrs)
+
+    def test_blocked_asserts_suppress_conversion(self):
+        program, method, profiles = profiled_program()
+        plain = compile_method(program, method, profiles, ATOMIC)
+        blocked_pcs = frozenset(
+            pc for pc, _ in plain.compiled.abort_sites.values()
+            if pc is not None
+        )
+        reblocked = compile_method(
+            program, method, profiles, ATOMIC, blocked_asserts=blocked_pcs
+        )
+        plain_aborts = sum(
+            1 for i in plain.compiled.instrs if i.op is MOp.BR_ABORT
+        )
+        blocked_aborts = sum(
+            1 for i in reblocked.compiled.instrs if i.op is MOp.BR_ABORT
+        )
+        assert blocked_aborts < plain_aborts
+
+    def test_compilation_is_deterministic(self):
+        program, method, profiles = profiled_program()
+        a = compile_method(program, method, profiles, ATOMIC_AGGRESSIVE)
+        b = compile_method(program, method, profiles, ATOMIC_AGGRESSIVE)
+        assert [i.op for i in a.compiled.instrs] == \
+            [i.op for i in b.compiled.instrs]
+        assert a.inlined == b.inlined
+
+    def test_region_entries_recorded(self):
+        program, method, profiles = profiled_program()
+        record = compile_method(program, method, profiles, ATOMIC)
+        for rid, index in record.compiled.region_entries.items():
+            assert record.compiled.instrs[index].op is MOp.AREGION_BEGIN

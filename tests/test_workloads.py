@@ -1,0 +1,97 @@
+"""Tests for the synthetic DaCapo workloads and the experiment harness."""
+
+import pytest
+
+from repro.harness import run_workload, verify_workload_correctness
+from repro.harness.experiment import clear_cache
+from repro.hw import BASELINE_4WIDE
+from repro.lang import validate_program
+from repro.runtime import Interpreter
+from repro.vm import ATOMIC, ATOMIC_AGGRESSIVE, NO_ATOMIC
+from repro.workloads import ALL_WORKLOADS, get_workload, workload_names
+
+FAST_BENCHES = ["hsqldb", "xalan"]
+
+
+class TestWorkloadStructure:
+    def test_registry_complete(self):
+        assert workload_names() == [
+            "antlr", "bloat", "fop", "hsqldb", "jython", "pmd", "xalan"
+        ]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("eclipse")
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_programs_validate(self, name):
+        program = get_workload(name).build()
+        validate_program(program)
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_deterministic_builds(self, name):
+        w = get_workload(name)
+        p1, p2 = w.build(), w.build()
+        interp1, interp2 = Interpreter(p1), Interpreter(p2)
+        args = list(w.samples[0].measure_args[0])
+        m1 = p1.resolve_static(w.entry)
+        m2 = p2.resolve_static(w.entry)
+        assert interp1.invoke(m1, list(args)) == interp2.invoke(m2, list(args))
+
+    def test_sample_weights_positive(self):
+        for w in ALL_WORKLOADS.values():
+            assert w.total_weight() > 0
+            assert all(s.weight > 0 for s in w.samples)
+
+    def test_jython_force_monomorphic_sites(self):
+        w = get_workload("jython")
+        sites = w.force_monomorphic_sites(w.build())
+        assert sites and all(name == "getitem" for name, _pc in sites)
+
+
+class TestHarness:
+    @pytest.mark.parametrize("name", FAST_BENCHES)
+    @pytest.mark.parametrize("config", [NO_ATOMIC, ATOMIC_AGGRESSIVE],
+                             ids=lambda c: c.name)
+    def test_vm_matches_interpreter(self, name, config):
+        verify_workload_correctness(get_workload(name), config)
+
+    def test_run_result_metrics(self):
+        w = get_workload("hsqldb")
+        base = run_workload(w, NO_ATOMIC, BASELINE_4WIDE, timing=False,
+                            use_cache=False)
+        atomic = run_workload(w, ATOMIC_AGGRESSIVE, BASELINE_4WIDE,
+                              timing=False, use_cache=False)
+        assert base.uops > 0
+        assert atomic.uops < base.uops           # Figure 8 direction
+        assert atomic.coverage > 0.3             # Table 3
+        assert atomic.mean_region_size > 10
+        reduction = atomic.uop_reduction_over(base)
+        assert 0 < reduction < 60
+
+    def test_cache_reuses_runs(self):
+        clear_cache()
+        w = get_workload("hsqldb")
+        first = run_workload(w, NO_ATOMIC, BASELINE_4WIDE, timing=False)
+        second = run_workload(w, NO_ATOMIC, BASELINE_4WIDE, timing=False)
+        assert first is second
+        clear_cache()
+
+    def test_weighted_ratio_uses_phase_weights(self):
+        w = get_workload("pmd")  # four phases with distinct weights
+        base = run_workload(w, NO_ATOMIC, BASELINE_4WIDE, timing=False,
+                            use_cache=False)
+        atomic = run_workload(w, ATOMIC, BASELINE_4WIDE, timing=False,
+                              use_cache=False)
+        assert len(base.samples) == 4
+        ratio = atomic.weighted_ratio(base, lambda s: float(s.uops))
+        assert ratio > 0
+
+    def test_force_monomorphic_changes_jython(self):
+        w = get_workload("jython")
+        plain = run_workload(w, ATOMIC, BASELINE_4WIDE, timing=False,
+                             use_cache=False)
+        forced = run_workload(w, ATOMIC, BASELINE_4WIDE, timing=False,
+                              force_monomorphic=True, use_cache=False)
+        # Forcing monomorphism inlines getitem: strictly fewer uops.
+        assert forced.uops < plain.uops
