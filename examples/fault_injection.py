@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Seeded chaos: adversarial fault injection converging to clean results.
+
+The paper's reliability argument (§3, §5) is that every abort — spurious
+assert, capacity overflow, interrupt, coherence conflict, guest exception —
+rolls the atomic region back *totally* and re-executes non-speculatively
+with identical results.  This example injects all five, from one seed, and
+shows the faulted run reproducing the fault-free reference bit for bit;
+then it unleashes a perpetual conflict storm and shows the forward-progress
+machinery (retry budget, exponential backoff, permanent fallback patch)
+terminating it.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.faults import FaultPlan
+from repro.harness import run_chaos
+from repro.hw import BASELINE_4WIDE
+from repro.vm import ATOMIC
+from repro.workloads import get_workload
+
+
+def seeded_chaos():
+    print("=== seeded chaos vs. clean references ===")
+    for name in ("hsqldb", "xalan", "bloat"):
+        report = run_chaos(get_workload(name), ATOMIC, seeds=(0, 1, 2),
+                           max_samples=1)
+        for check in report.checks:
+            print(" ", check.describe())
+        assert report.ok, report.describe()
+    print("every faulted run matched the interpreter's return values and")
+    print("the clean machine's heap fingerprint, with all monitors free.\n")
+
+
+def what_a_plan_looks_like():
+    print("=== the schedule is pure, hashable data ===")
+    plan = FaultPlan.seeded(0)
+    print(f"  {plan.describe()}")
+    print(f"  hash: {hash(plan):#x} (usable as an experiment-cache key)")
+    print(f"  same seed, same plan: {plan == FaultPlan.seeded(0)}\n")
+
+
+def conflict_storm():
+    print("=== perpetual conflict storm vs. forward progress ===")
+    hw = BASELINE_4WIDE.scaled(region_retry_budget=4,
+                               region_backoff_cycles=32,
+                               region_fallback_threshold=64)
+    report = run_chaos(
+        get_workload("hsqldb"), ATOMIC, seeds=(0,), hw_config=hw,
+        plan_factory=lambda seed: FaultPlan.storm("conflict", offset=2),
+        max_samples=1,
+    )
+    (check,) = report.checks
+    stats = check.stats
+    print(f"  every region entry conflicted; run still finished: "
+          f"{'ok' if check.ok else 'FAILED'}")
+    print(f"  conflict retries (from checkpoint): {stats.conflict_retries}, "
+          f"backoff stall: {stats.backoff_cycles:.0f} cycles")
+    print(f"  permanent fallbacks: {dict(stats.region_fallbacks)}")
+    print(f"  entries suppressed by the patch: {stats.regions_suppressed}")
+    assert report.ok, report.describe()
+    assert sum(stats.region_fallbacks.values()) >= 1
+    print("the region was patched to its non-speculative recovery path —")
+    print("no live-lock, and the results still match the references.")
+
+
+def main():
+    seeded_chaos()
+    what_a_plan_looks_like()
+    conflict_storm()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Deterministic fault injection for atomic regions.
+
+``FaultPlan`` (frozen data: what to inject, when) + ``FaultInjector``
+(runtime: arms region-relative faults at every ``aregion_begin`` and delivers
+pending interrupts at hardware-condition checks).  The machine's
+forward-progress machinery — conflict retry budgets and permanent
+non-speculative fallback — guarantees that any plan, including perpetual
+abort storms (``FaultPlan.storm``), terminates.
+"""
+
+from .injector import FaultInjector, RegionFaultSchedule
+from .plan import FAULT_KINDS, REGION_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "REGION_KINDS",
+    "RegionFaultSchedule",
+]

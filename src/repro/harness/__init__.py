@@ -1,5 +1,6 @@
 """Experiment harness: drivers and renderers for every table and figure."""
 
+from .chaos import ChaosCheck, ChaosReport, run_chaos
 from .experiment import (
     RunResult,
     SampleResult,
@@ -24,6 +25,8 @@ from .report import render, render_all
 
 __all__ = [
     "BENCH_ORDER",
+    "ChaosCheck",
+    "ChaosReport",
     "FigureData",
     "RunResult",
     "SampleResult",
@@ -34,6 +37,7 @@ __all__ = [
     "figure9",
     "render",
     "render_all",
+    "run_chaos",
     "run_workload",
     "section62",
     "section63",

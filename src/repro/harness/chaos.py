@@ -1,0 +1,200 @@
+"""Differential chaos checker: fault-injected machine vs. clean references.
+
+The paper's reliability claim (§3, §5) is that every abort — assert,
+footprint overflow, interrupt, coherence conflict, guest fault — rolls back
+totally and recovery re-produces the non-speculative execution exactly.
+Flückiger et al. machine-check the same equivalence for deoptimizing JITs;
+this module checks it dynamically under *adversarial* fault schedules
+instead of only the ones the workloads happen to trigger.
+
+Each workload sample runs three ways:
+
+1. **faulted** — the tiered VM with a seeded :class:`FaultPlan` injecting
+   interrupts, conflicts, capacity shrinks, spurious asserts, and guest
+   exceptions;
+2. **clean** — the identical VM with no fault plan (same compiled code);
+3. **reference** — the tier-0 interpreter (pure bytecode semantics).
+
+The checker then asserts, per sample:
+
+- faulted return values == clean return values == interpreter return values;
+- faulted heap fingerprint == clean heap fingerprint, bit for bit (the
+  compiler may legitimately drop dead allocations relative to the
+  interpreter, so machine-vs-machine is the strict heap oracle; the
+  interpreter comparison is recorded too and holds whenever the optimizer
+  preserved every allocation);
+- every monitor on the faulted heap ends quiescent (lock-state restoration);
+- forced abort storms terminated through the retry-budget fallback rather
+  than looping (``region_fallbacks`` whenever a storm plan is used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..faults import FaultInjector, FaultPlan
+from ..hw.config import BASELINE_4WIDE, HardwareConfig
+from ..hw.stats import ExecStats
+from ..runtime.interpreter import Interpreter
+from ..vm.compiler import CompilerConfig
+from ..vm.vm import TieredVM, VMOptions
+from ..workloads.base import Workload
+
+
+@dataclass
+class ChaosCheck:
+    """Outcome of one (workload, seed, sample) differential run."""
+
+    workload: str
+    seed: int
+    sample_index: int
+    results_match_interpreter: bool
+    heap_matches_clean: bool
+    heap_matches_interpreter: bool
+    locks_quiescent: bool
+    stats: ExecStats
+    faults_scheduled: dict = field(default_factory=dict)
+    faulted_results: list = field(default_factory=list)
+    expected_results: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.results_match_interpreter
+                and self.heap_matches_clean
+                and self.locks_quiescent)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        aborted = self.stats.regions_aborted
+        return (
+            f"{self.workload}[sample {self.sample_index}] seed={self.seed}: "
+            f"{status} ({aborted} aborts, "
+            f"faults={dict(self.faults_scheduled) or 'none'}, "
+            f"retries={self.stats.conflict_retries}, "
+            f"fallbacks={sum(self.stats.region_fallbacks.values())})"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """All checks from one :func:`run_chaos` sweep."""
+
+    checks: list[ChaosCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(c.stats.regions_aborted for c in self.checks)
+
+    @property
+    def total_faults_scheduled(self) -> int:
+        return sum(sum(c.faults_scheduled.values()) for c in self.checks)
+
+    def failures(self) -> list[ChaosCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.checks]
+        lines.append(
+            f"{len(self.checks)} checks, {self.total_aborts} aborts, "
+            f"{self.total_faults_scheduled} faults scheduled, "
+            f"{len(self.failures())} failure(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "chaos differential check failed:\n" + self.describe()
+            )
+
+
+def _run_machine(
+    workload: Workload,
+    sample,
+    compiler_config: CompilerConfig,
+    hw_config: HardwareConfig,
+    fault_plan: FaultPlan | None,
+):
+    """One VM execution of a sample; returns (results, stats, vm)."""
+    program = workload.build()
+    vm = TieredVM(
+        program,
+        compiler_config=compiler_config,
+        hw_config=hw_config,
+        options=VMOptions(enable_timing=False, compile_threshold=3),
+        fault_plan=fault_plan,
+    )
+    vm.warm_up(workload.entry, [list(a) for a in sample.warm_args])
+    vm.compile_hot(min_invocations=1)
+    vm.start_measurement()
+    results = [vm.run(workload.entry, list(a)) for a in sample.measure_args]
+    stats = vm.end_measurement()
+    return results, stats, vm
+
+
+def _interpreter_reference(workload: Workload, sample):
+    """Tier-0 interpreter execution; returns (results, heap)."""
+    program = workload.build()
+    interp = Interpreter(program)
+    method = program.resolve_static(workload.entry)
+    for args in sample.warm_args:
+        interp.invoke(method, list(args))
+    results = [interp.invoke(method, list(args)) for args in sample.measure_args]
+    return results, interp.heap
+
+
+def run_chaos(
+    workload: Workload,
+    compiler_config: CompilerConfig,
+    seeds=(0, 1, 2),
+    hw_config: HardwareConfig = BASELINE_4WIDE,
+    plan_factory=None,
+    max_samples: int | None = None,
+) -> ChaosReport:
+    """Differential sweep: every sample × every seed, three-way compared.
+
+    ``plan_factory`` maps a seed to a :class:`FaultPlan`; the default is
+    :meth:`FaultPlan.seeded` with the standard chaos rates.  Pass e.g.
+    ``lambda seed: FaultPlan.storm("conflict")`` for adversarial schedules.
+    """
+    if plan_factory is None:
+        plan_factory = lambda seed: FaultPlan.seeded(seed)  # noqa: E731
+
+    report = ChaosReport()
+    samples = workload.samples[:max_samples]
+    for index, sample in enumerate(samples):
+        expected, ref_heap = _interpreter_reference(workload, sample)
+        ref_fp = ref_heap.fingerprint()
+        clean_results, _clean_stats, clean_vm = _run_machine(
+            workload, sample, compiler_config, hw_config, None,
+        )
+        clean_fp = clean_vm.heap.fingerprint()
+        for seed in seeds:
+            plan = plan_factory(seed)
+            results, stats, vm = _run_machine(
+                workload, sample, compiler_config, hw_config, plan,
+            )
+            faulted_fp = vm.heap.fingerprint()
+            injector = vm.fault_injector
+            report.checks.append(ChaosCheck(
+                workload=workload.name,
+                seed=seed,
+                sample_index=index,
+                results_match_interpreter=(
+                    results == expected and clean_results == expected
+                ),
+                heap_matches_clean=(faulted_fp == clean_fp),
+                heap_matches_interpreter=(faulted_fp == ref_fp),
+                locks_quiescent=vm.heap.locks_quiescent(),
+                stats=stats,
+                faults_scheduled=(
+                    dict(injector.scheduled) if injector is not None else {}
+                ),
+                faulted_results=results,
+                expected_results=expected,
+            ))
+    return report

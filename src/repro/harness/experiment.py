@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..faults import FaultPlan
 from ..hw.config import BASELINE_4WIDE, HardwareConfig
 from ..hw.stats import ExecStats
 from ..vm.adaptive import AdaptiveController
@@ -116,12 +117,15 @@ def run_workload(
     force_monomorphic: bool = False,
     adaptive: bool = False,
     interrupt_interval: int | None = None,
+    fault_plan: FaultPlan | None = None,
     use_cache: bool = True,
 ) -> RunResult:
     """Run every sample of ``workload`` under the given configuration."""
+    if fault_plan is not None and interrupt_interval is not None:
+        raise ValueError("fault_plan subsumes interrupt_interval; pick one")
     key = (
         workload.name, compiler_config.name, hw_config.name, timing,
-        force_monomorphic, adaptive, interrupt_interval,
+        force_monomorphic, adaptive, interrupt_interval, fault_plan,
     )
     if use_cache and key in _cache:
         return _cache[key]
@@ -150,6 +154,7 @@ def run_workload(
                 compile_threshold=3,
                 interrupt_interval=interrupt_interval,
             ),
+            fault_plan=fault_plan,
         )
         vm.warm_up(workload.entry, [list(a) for a in sample.warm_args])
         vm.compile_hot(min_invocations=1)

@@ -52,6 +52,19 @@ class HardwareConfig:
     #: L1 lines aborts with reason "overflow".
     region_line_limit: int = 448  # ~ 7/8 of a 512-line L1
 
+    # -- forward-progress guarantee (paper §3/§5: "the hardware must
+    # -- guarantee forward progress") ---------------------------------------
+    #: transparent checkpoint retries for a *conflict* abort before the
+    #: hardware gives up and takes the software recovery path (alt-PC).
+    region_retry_budget: int = 4
+    #: base backoff stall in cycles before a conflict retry; doubles with
+    #: each consecutive retry of the same region (exponential backoff).
+    region_backoff_cycles: int = 32
+    #: consecutive software-visible aborts of one region before its
+    #: ``aregion_begin`` is patched to jump straight to the alt-PC
+    #: (permanent non-speculative fallback); None disables escalation.
+    region_fallback_threshold: int | None = 64
+
     def scaled(self, **changes) -> "HardwareConfig":
         return replace(self, **changes)
 

@@ -150,6 +150,10 @@ class CompiledMethod:
     region_entries: dict[int, int] = field(default_factory=dict)
     #: distinguishes code compiled with/without atomic regions in reports.
     uses_regions: bool = False
+    #: region ids patched to permanent non-speculative fallback: their
+    #: ``aregion_begin`` jumps straight to the alt-PC (forward-progress
+    #: escalation).  Lives on the code object so a recompile starts fresh.
+    disabled_regions: set = field(default_factory=set)
 
     def __len__(self) -> int:
         return len(self.instrs)

@@ -17,9 +17,11 @@ via a per-retired-uop callback; without one the machine runs functionally
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..faults.injector import FaultInjector, RegionFaultSchedule
 from ..runtime.errors import (
     BoundsError,
     GuestArithmeticError,
@@ -55,6 +57,14 @@ class _RegionState:
     lock_log: list = field(default_factory=list)
     conflict_at: int | None = None                     # uop offset to inject conflict
     uops: int = 0
+    #: pc of the AREGION_BEGIN instruction (conflict-retry re-entry point).
+    begin_pc: int = 0
+    #: heap allocator snapshot: speculative allocations roll back on abort.
+    heap_mark: tuple | None = None
+    #: injected region-relative faults armed for this entry.
+    faults: RegionFaultSchedule | None = None
+    #: (id(compiled), region id): keys the forward-progress counters.
+    progress_key: tuple = ()
 
 
 def _machine_compare(cond: str, a: Value, b: Value) -> bool:
@@ -83,6 +93,7 @@ class Machine:
         dispatcher=None,
         conflict_injector: Callable[[RegionExecution], int | None] | None = None,
         interrupt_interval: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.program = program
         self.heap = heap
@@ -90,9 +101,27 @@ class Machine:
         self.stats = stats if stats is not None else ExecStats()
         self.timing = timing
         self.dispatcher = dispatcher
+        # Back-compat shims: the old ad-hoc hooks fold into one injector.
+        if fault_injector is not None and (
+            conflict_injector is not None or interrupt_interval is not None
+        ):
+            raise VMError(
+                "pass either fault_injector or the legacy "
+                "conflict_injector/interrupt_interval hooks, not both"
+            )
+        if fault_injector is None and (
+            conflict_injector is not None or interrupt_interval is not None
+        ):
+            fault_injector = FaultInjector.from_legacy(
+                conflict_injector, interrupt_interval
+            )
+        self.fault_injector = fault_injector
         self.conflict_injector = conflict_injector
         self.interrupt_interval = interrupt_interval
         self._code_bases: dict[int, int] = {}
+        #: strong refs to installed code: keys of the per-region progress
+        #: counters are id()s, which must never be recycled underneath us.
+        self._installed_code: dict[int, CompiledMethod] = {}
         self._next_code_base = CODE_BASE
         self._next_spill_base = SPILL_BASE
         #: architectural abort-diagnosis registers (paper §3.2).
@@ -100,6 +129,11 @@ class Machine:
         self.abort_pc_register: int | None = None
         #: global uop counter (drives interrupt injection).
         self.uops_executed = 0
+        #: forward progress: consecutive software-visible aborts per region
+        #: (escalates to permanent fallback) and conflict retries in the
+        #: current storm (bounded by the retry budget).  Both reset on commit.
+        self._abort_streak: Counter = Counter()
+        self._conflict_retries: Counter = Counter()
 
     # -- public ------------------------------------------------------------
     def execute(self, compiled: CompiledMethod, args: list[Value]) -> Value:
@@ -297,7 +331,14 @@ class Machine:
                 elif op is MOp.AREGION_BEGIN:
                     if region is not None:
                         raise VMError("nested aregion_begin")
-                    region = self._begin_region(compiled, instr, regs, spill)
+                    if instr.imm in compiled.disabled_regions:
+                        # Patched to permanent non-speculative fallback:
+                        # jump straight to the alternate PC.
+                        stats.regions_suppressed += 1
+                        self._tick(instr, mem_address, timing)
+                        pc = instr.target
+                        continue
+                    region = self._begin_region(compiled, instr, regs, spill, pc)
                     if timing is not None:
                         timing.region_begin()
                 elif op is MOp.AREGION_END:
@@ -373,6 +414,7 @@ class Machine:
         base = self._code_bases.get(id(compiled))
         if base is None:
             base = self._code_bases[id(compiled)] = self._next_code_base
+            self._installed_code[id(compiled)] = compiled
             self._next_code_base += max(len(compiled.instrs), 64) * 4
         return base
 
@@ -393,7 +435,7 @@ class Machine:
             self.stats.loads += 1
 
     # -- region mechanics ---------------------------------------------------
-    def _begin_region(self, compiled, instr, regs, spill) -> _RegionState:
+    def _begin_region(self, compiled, instr, regs, spill, pc) -> _RegionState:
         record = RegionExecution(region_key=(compiled.name, instr.imm))
         region = _RegionState(
             region_id=instr.imm,
@@ -401,9 +443,13 @@ class Machine:
             checkpoint_regs=list(regs),
             checkpoint_spill=list(spill),
             record=record,
+            begin_pc=pc,
+            heap_mark=self.heap.mark(),
+            progress_key=(id(compiled), instr.imm),
         )
-        if self.conflict_injector is not None:
-            region.conflict_at = self.conflict_injector(record)
+        if self.fault_injector is not None:
+            region.faults = self.fault_injector.schedule_region(record)
+            region.conflict_at = region.faults.conflict_at
         return region
 
     def _track_read(self, region: _RegionState | None, address: int) -> None:
@@ -446,14 +492,30 @@ class Machine:
         record.lines_read = len(region.read_lines)
         record.lines_written = len(region.write_lines)
         self.stats.note_region(record)
+        # Forward progress: a commit ends any abort streak for this region.
+        key = region.progress_key
+        if self._abort_streak.get(key):
+            self._abort_streak[key] = 0
+        if self._conflict_retries.get(key):
+            self._conflict_retries[key] = 0
 
     def _hw_condition(self, region: _RegionState) -> str | None:
         """Best-effort hardware abort conditions, checked at retirement."""
-        if (len(region.read_lines) + len(region.write_lines)
-                > self.config.region_line_limit):
+        line_limit = self.config.region_line_limit
+        faults = region.faults
+        if faults is not None and faults.line_limit is not None:
+            # Injected capacity pressure: the best-effort bound shrinks.
+            line_limit = min(line_limit, faults.line_limit)
+        if len(region.read_lines) + len(region.write_lines) > line_limit:
             return "overflow"
-        if (self.interrupt_interval is not None
-                and self.uops_executed % self.interrupt_interval == 0):
+        if faults is not None:
+            if faults.assert_at is not None and region.uops >= faults.assert_at:
+                return "assert"
+            if (faults.exception_at is not None
+                    and region.uops >= faults.exception_at):
+                return "exception"
+        if (self.fault_injector is not None
+                and self.fault_injector.take_interrupt(self.uops_executed)):
             return "interrupt"
         if region.conflict_at is not None and region.uops >= region.conflict_at:
             return "conflict"
@@ -469,7 +531,18 @@ class Machine:
         regs: list,
         spill: list,
     ) -> int:
-        """Roll the region back; returns the alternate (recovery) PC."""
+        """Roll the region back; returns the resumption PC.
+
+        Rollback is total: buffered stores are discarded, registers and
+        spill slots restore from the checkpoint, monitor words and
+        speculative allocations are undone.  The resumption PC is normally
+        the alternate (recovery) PC; a conflict abort within the retry
+        budget instead re-enters the region from its ``aregion_begin``
+        (after an exponential-backoff stall), and a region whose abort
+        streak exhausts the fallback threshold is patched so every future
+        entry goes straight to the recovery path — the forward-progress
+        guarantee of §3/§5.
+        """
         record = region.record
         record.committed = False
         record.abort_reason = reason
@@ -485,10 +558,34 @@ class Machine:
             lock.reserver = reserver
         regs[:] = region.checkpoint_regs
         spill[:] = region.checkpoint_spill
+        if region.heap_mark is not None:
+            self.heap.rollback_to(region.heap_mark)
         self.abort_reason_register = reason
         self.abort_pc_register = abort_pc
         if self.timing is not None:
             self.timing.region_abort()
+
+        key = region.progress_key
+        if reason == "conflict":
+            attempt = self._conflict_retries[key] + 1
+            if attempt <= self.config.region_retry_budget:
+                # Transient condition: retry the region from its checkpoint
+                # after backing off (doubling per consecutive attempt).
+                self._conflict_retries[key] = attempt
+                backoff = self.config.region_backoff_cycles * (1 << (attempt - 1))
+                self.stats.conflict_retries += 1
+                self.stats.backoff_cycles += backoff
+                if self.timing is not None:
+                    self.timing.stall(backoff)
+                return region.begin_pc
+        self._conflict_retries[key] = 0
+        streak = self._abort_streak[key] + 1
+        self._abort_streak[key] = streak
+        threshold = self.config.region_fallback_threshold
+        if threshold is not None and streak >= threshold:
+            compiled.disabled_regions.add(region.region_id)
+            self._abort_streak[key] = 0
+            self.stats.note_fallback(record.region_key)
         return region.alt_pc
 
 

@@ -45,6 +45,23 @@ class ExecStats:
     abort_sites: Counter = field(default_factory=Counter)
     unique_regions: set = field(default_factory=set)
 
+    #: per-method and per-region entry/abort counters (adaptive control and
+    #: the forward-progress escalation both want rates *per region*, not the
+    #: global average).
+    entries_by_method: Counter = field(default_factory=Counter)
+    aborts_by_method: Counter = field(default_factory=Counter)
+    entries_by_region: Counter = field(default_factory=Counter)
+    aborts_by_region: Counter = field(default_factory=Counter)
+
+    #: forward-progress events: transparent conflict retries, backoff stall
+    #: cycles charged, region entries skipped because the region was patched
+    #: to its non-speculative fallback, and the fallback events themselves
+    #: (region_key -> count).
+    conflict_retries: int = 0
+    backoff_cycles: float = 0.0
+    regions_suppressed: int = 0
+    region_fallbacks: Counter = field(default_factory=Counter)
+
     region_sizes: list[int] = field(default_factory=list)
     region_lines: list[int] = field(default_factory=list)
 
@@ -58,6 +75,9 @@ class ExecStats:
     def note_region(self, record: RegionExecution) -> None:
         self.regions_entered += 1
         self.unique_regions.add(record.region_key)
+        method_name = record.region_key[0]
+        self.entries_by_method[method_name] += 1
+        self.entries_by_region[record.region_key] += 1
         if record.committed:
             self.regions_committed += 1
             self.region_sizes.append(record.uops)
@@ -66,6 +86,19 @@ class ExecStats:
         else:
             self.regions_aborted += 1
             self.abort_reasons[record.abort_reason] += 1
+            self.aborts_by_method[method_name] += 1
+            self.aborts_by_region[record.region_key] += 1
+
+    def note_fallback(self, region_key: tuple) -> None:
+        """A region exhausted its budget: patched to non-speculative code."""
+        self.region_fallbacks[region_key] += 1
+
+    def method_abort_rate(self, method_name: str) -> float:
+        """Aborts per region entry for one method's regions."""
+        entries = self.entries_by_method.get(method_name, 0)
+        if entries == 0:
+            return 0.0
+        return self.aborts_by_method.get(method_name, 0) / entries
 
     # -- derived metrics ------------------------------------------------------
     @property
@@ -114,4 +147,7 @@ class ExecStats:
             "mispredict_rate": (
                 round(self.mispredicts / self.branches, 5) if self.branches else 0.0
             ),
+            "conflict_retries": self.conflict_retries,
+            "region_fallbacks": sum(self.region_fallbacks.values()),
+            "regions_suppressed": self.regions_suppressed,
         }

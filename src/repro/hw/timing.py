@@ -174,6 +174,11 @@ class TimingModel:
         self._fetched_this_cycle = 0
         self._last_region_commit = self._fetch_cycle
 
+    def stall(self, cycles: float) -> None:
+        """Freeze the front end for ``cycles`` (conflict-retry backoff)."""
+        self._fetch_cycle = max(self._fetch_cycle, self._retire_cycle) + cycles
+        self._fetched_this_cycle = 0
+
     def call_boundary(self) -> None:
         """VM call bridge: light front-end serialization."""
         self._fetch_cycle = max(self._fetch_cycle, self._retire_cycle)

@@ -134,7 +134,15 @@ def require_array(ref: Value) -> GuestArray:
 
 
 class Heap:
-    """Bump-pointer allocator handing out addressed objects and arrays."""
+    """Bump-pointer allocator handing out addressed objects and arrays.
+
+    The heap keeps its allocation log (every live object, in allocation
+    order).  Atomic regions use :meth:`mark` / :meth:`rollback_to` to undo
+    allocations made inside an aborted region — on real hardware the bump
+    pointer and object initialization are just speculative stores, so an
+    abort erases them; modeling that keeps the post-abort heap bit-identical
+    to a non-speculative execution, which :meth:`fingerprint` checks.
+    """
 
     BASE_ADDRESS = 0x10_0000
 
@@ -143,6 +151,7 @@ class Heap:
         self.objects_allocated = 0
         self.arrays_allocated = 0
         self.bytes_allocated = 0
+        self.allocations: list[Union[GuestObject, GuestArray]] = []
 
     def _bump(self, size: int) -> int:
         base = self._cursor
@@ -155,10 +164,65 @@ class Heap:
         size = OBJECT_HEADER_BYTES + len(field_index) * WORD_BYTES
         obj = GuestObject(class_name, field_index, self._bump(size))
         self.objects_allocated += 1
+        self.allocations.append(obj)
         return obj
 
     def new_array(self, length: int) -> GuestArray:
         size = ARRAY_HEADER_BYTES + length * WORD_BYTES
         arr = GuestArray(length, self._bump(size))
         self.arrays_allocated += 1
+        self.allocations.append(arr)
         return arr
+
+    # -- speculative allocation rollback ------------------------------------
+    def mark(self) -> tuple:
+        """Snapshot of the allocator state at a region entry."""
+        return (
+            self._cursor,
+            self.objects_allocated,
+            self.arrays_allocated,
+            self.bytes_allocated,
+            len(self.allocations),
+        )
+
+    def rollback_to(self, mark: tuple) -> None:
+        """Discard every allocation made since ``mark`` (abort path)."""
+        (self._cursor, self.objects_allocated, self.arrays_allocated,
+         self.bytes_allocated, count) = mark
+        del self.allocations[count:]
+
+    # -- differential state checks ------------------------------------------
+    def fingerprint(self) -> tuple:
+        """Canonical image of the whole heap, in allocation order.
+
+        References are canonicalized to allocation indexes, so two heaps
+        built by semantically identical executions compare equal regardless
+        of host object identity.  Lock words contribute their architectural
+        (owner, depth) state — a rolled-back monitor operation must leave
+        them exactly as a non-speculative run would.
+        """
+        index = {id(x): i for i, x in enumerate(self.allocations)}
+
+        def canon(value):
+            if isinstance(value, (GuestObject, GuestArray)):
+                return ("ref", index[id(value)])
+            return value
+
+        items = []
+        for x in self.allocations:
+            if isinstance(x, GuestObject):
+                items.append((
+                    "obj", x.class_name,
+                    tuple(canon(v) for v in x.slots),
+                    x.lock.owner, x.lock.depth,
+                ))
+            else:
+                items.append(("arr", tuple(canon(v) for v in x.values)))
+        return tuple(items)
+
+    def locks_quiescent(self) -> bool:
+        """True when every monitor on the heap is released (owner-free)."""
+        return all(
+            x.lock.owner is None and x.lock.depth == 0
+            for x in self.allocations if isinstance(x, GuestObject)
+        )

@@ -32,40 +32,47 @@ class AdaptiveController:
     """Polls a VM's statistics and triggers recompilations."""
 
     vm: TieredVM
-    #: recompile when aborts/region-entries exceeds this (the paper: "an
-    #: abort rate of even a few percent can have a significant impact").
+    #: recompile when a method's aborts/region-entries exceeds this (the
+    #: paper: "an abort rate of even a few percent can have a significant
+    #: impact").
     abort_rate_threshold: float = 0.02
-    #: don't judge a method before this many region entries.
+    #: don't judge a method before this many of *its* region entries.
     min_region_entries: int = 50
     decisions: list[AdaptiveDecision] = field(default_factory=list)
     _seen_aborts: Counter = field(default_factory=Counter)
     _seen_entries: Counter = field(default_factory=Counter)
 
     def poll(self) -> list[AdaptiveDecision]:
-        """Inspect abort counters; recompile offending methods."""
+        """Inspect abort counters; recompile offending methods.
+
+        Rates are computed *per method* — fresh aborts over fresh region
+        entries of that method's regions since the last decision — so one
+        hot, well-behaved method cannot dilute another's abort storm below
+        the threshold (and a quiet method is never recompiled because of a
+        noisy neighbour).
+        """
         stats = self.vm.stats
-        aborts_by_method: Counter = Counter()
         sites_by_method: dict[str, Counter] = {}
         for (method_name, _rid, abort_id), count in stats.abort_sites.items():
-            aborts_by_method[method_name] += count
             sites_by_method.setdefault(method_name, Counter())[abort_id] += count
 
         new_decisions = []
-        total_entries = stats.regions_entered
-        for method_name, aborts in aborts_by_method.items():
+        for method_name, aborts in stats.aborts_by_method.items():
+            entries = stats.entries_by_method.get(method_name, 0)
             fresh_aborts = aborts - self._seen_aborts[method_name]
+            fresh_entries = entries - self._seen_entries[method_name]
             if fresh_aborts <= 0:
                 continue
-            if total_entries < self.min_region_entries:
+            if entries < self.min_region_entries:
                 continue
-            rate = stats.regions_aborted / max(stats.regions_entered, 1)
+            rate = fresh_aborts / max(fresh_entries, 1)
             if rate < self.abort_rate_threshold:
                 continue
             record = self.vm.compiled.get(method_name)
             if record is None:
                 continue
             blocked = set()
-            for abort_id, count in sites_by_method[method_name].items():
+            for abort_id, count in sites_by_method.get(method_name, {}).items():
                 site = record.compiled.abort_sites.get(abort_id)
                 if site is not None and site[0] is not None:
                     blocked.add(site[0])
@@ -76,4 +83,5 @@ class AdaptiveController:
             self.decisions.append(decision)
             new_decisions.append(decision)
             self._seen_aborts[method_name] = aborts
+            self._seen_entries[method_name] = entries
         return new_decisions

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults import FaultInjector, FaultPlan
 from ..hw.config import BASELINE_4WIDE, HardwareConfig
 from ..hw.machine import Machine
 from ..hw.stats import ExecStats
@@ -49,6 +50,8 @@ class TieredVM:
         hw_config: HardwareConfig = BASELINE_4WIDE,
         options: VMOptions | None = None,
         conflict_injector=None,
+        fault_plan: FaultPlan | None = None,
+        fault_injector: FaultInjector | None = None,
         validate: bool = True,
     ) -> None:
         if validate:
@@ -65,16 +68,39 @@ class TieredVM:
         self.interpreter = Interpreter(
             program, heap=self.heap, profiles=self.profiles, dispatcher=self
         )
-        self.machine = Machine(
-            program,
-            self.heap,
-            config=hw_config,
-            stats=self.stats,
-            timing=self.timing,
-            dispatcher=self,
-            conflict_injector=conflict_injector,
-            interrupt_interval=self.options.interrupt_interval,
-        )
+        if fault_injector is not None and fault_plan is not None:
+            raise VMError("pass either fault_plan or fault_injector, not both")
+        if fault_injector is None and fault_plan is not None:
+            fault_injector = FaultInjector(fault_plan)
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            if (conflict_injector is not None
+                    or self.options.interrupt_interval is not None):
+                raise VMError(
+                    "legacy conflict_injector/interrupt_interval hooks "
+                    "cannot be combined with a fault plan/injector"
+                )
+            self.machine = Machine(
+                program,
+                self.heap,
+                config=hw_config,
+                stats=self.stats,
+                timing=self.timing,
+                dispatcher=self,
+                fault_injector=fault_injector,
+            )
+        else:
+            self.machine = Machine(
+                program,
+                self.heap,
+                config=hw_config,
+                stats=self.stats,
+                timing=self.timing,
+                dispatcher=self,
+                conflict_injector=conflict_injector,
+                interrupt_interval=self.options.interrupt_interval,
+            )
+            self.fault_injector = self.machine.fault_injector
         self.compiled: dict[str, CompilationRecord] = {}
         #: per-method branch pcs barred from assert conversion (§7 adaptive).
         self.blocked_asserts: dict[str, set[int]] = {}

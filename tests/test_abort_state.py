@@ -1,0 +1,241 @@
+"""Abort-path state restoration, across all five abort reasons.
+
+The paper's whole correctness story (§3.2) is that an abort discards the
+region *totally*: registers and spill slots revert to the checkpoint, the
+store buffer (including speculative lock-word writes and allocations) is
+dropped, and the abort-reason / abort-PC registers tell the runtime what
+happened.  These tests drive each abort reason through the fault injector
+and check the machine state afterwards against clean references.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.atomic import FormationConfig
+from repro.faults import FaultPlan
+from repro.hw import BASELINE_4WIDE
+from repro.lang import ProgramBuilder
+from repro.runtime import Interpreter
+from repro.runtime.locks import MAIN_THREAD
+from repro.runtime.heap import GuestObject
+from repro.vm import ATOMIC, TieredVM, VMOptions
+
+#: SLE off so monitor enters/exits inside regions emit real lock-word
+#: stores, exercising the lock-log rollback (owner/depth/reserver).
+ATOMIC_NOSLE = replace(
+    ATOMIC.with_aggressive_inlining(), sle=False, name="atomic-nosle",
+)
+
+#: The pressure program has no checks/monitors to elide, so region
+#: formation needs the benefit heuristic relaxed to wrap its loop.
+ATOMIC_FORCED = replace(
+    ATOMIC, name="atomic-forced",
+    formation=FormationConfig(require_benefit=False),
+)
+
+ALL_REASONS = ("assert", "overflow", "interrupt", "conflict", "exception")
+
+
+def synchronized_counter_program():
+    """Hot loop calling a synchronized method (monitors inside regions)."""
+    pb = ProgramBuilder()
+    pb.cls("Counter", fields=["v"])
+    bump = pb.method("bump", params=("this", "i"), owner="Counter",
+                     synchronized=True)
+    this, i = bump.param(0), bump.param(1)
+    v = bump.getfield(this, "v")
+    v2 = bump.add(v, i)
+    bump.putfield(this, "v", v2)
+    bump.ret(v2)
+
+    m = pb.method("work", params=("n", "trip"))
+    n = m.param(0)
+    c = m.new("Counter")
+    i = m.const(0)
+    one = m.const(1)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    m.vcall(c, "bump", (i,))
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    out = m.getfield(c, "v")
+    m.ret(out)
+    return pb.build()
+
+
+def pressure_program():
+    """Enough simultaneously-live values to force spill slots."""
+    pb = ProgramBuilder()
+    pb.cls("Acc", fields=["total"])
+    m = pb.method("work", params=("n", "trip"))
+    n = m.param(0)
+    acc = m.new("Acc")
+    i = m.const(0)
+    one = m.const(1)
+    # Many loop-carried accumulators: more live ranges than machine regs.
+    accs = [m.const(k) for k in range(20)]
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    for k in range(len(accs)):
+        m.add(accs[k], i, dst=accs[k])
+    t = m.getfield(acc, "total")
+    t2 = m.add(t, i)
+    m.putfield(acc, "total", t2)
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    total = m.getfield(acc, "total")
+    for k in range(len(accs)):
+        m.add(total, accs[k], dst=total)
+    m.ret(total)
+    return pb.build()
+
+
+def make_plan(reason):
+    if reason == "interrupt":
+        return FaultPlan.periodic_interrupts(500)
+    if reason == "overflow":
+        return FaultPlan.single("overflow", region_index=4, line_limit=0)
+    return FaultPlan.single(reason, region_index=4, offset=3)
+
+
+def run_vm(program, fault_plan, config=ATOMIC_NOSLE, measure=(200, 0)):
+    vm = TieredVM(
+        program, compiler_config=config, hw_config=BASELINE_4WIDE,
+        options=VMOptions(enable_timing=False, compile_threshold=3),
+        fault_plan=fault_plan,
+    )
+    vm.warm_up("work", [[100, 0]] * 3)
+    vm.compile_hot(min_invocations=1)
+    vm.start_measurement()
+    result = vm.run("work", list(measure))
+    stats = vm.end_measurement()
+    return result, stats, vm
+
+
+def interpreter_reference(program, args=(200, 0)):
+    """Same invocation history as :func:`run_vm`: 3 warm runs + 1 measured."""
+    interp = Interpreter(program)
+    method = program.resolve_static("work")
+    for _ in range(3):
+        interp.invoke(method, [100, 0])
+    result = interp.invoke(method, list(args))
+    return result, interp.heap
+
+
+class TestLockRestoration:
+    @pytest.mark.parametrize("reason", ALL_REASONS)
+    def test_locks_quiescent_after_abort(self, reason):
+        program = synchronized_counter_program()
+        result, stats, vm = run_vm(program, make_plan(reason))
+        expected, _ = interpreter_reference(program)
+        assert result == expected
+        assert stats.abort_reasons.get(reason, 0) >= 1
+        assert vm.heap.locks_quiescent()
+
+    def test_owner_depth_reserver_rolled_back(self):
+        """An abort between monitor-enter and monitor-exit restores the
+        exact pre-region lock word, including the reservation bias."""
+        program = synchronized_counter_program()
+        result, stats, vm = run_vm(
+            program, FaultPlan.storm("assert", offset=4),
+        )
+        expected, _ = interpreter_reference(program)
+        assert result == expected
+        assert stats.abort_reasons["assert"] >= 1
+        counters = [
+            obj for obj in vm.heap.allocations
+            if isinstance(obj, GuestObject) and obj.class_name == "Counter"
+        ]
+        assert counters
+        for obj in counters:
+            assert obj.lock.owner is None
+            assert obj.lock.depth == 0
+            # The reservation was established non-speculatively during
+            # warm-up/recovery and must survive every rollback.
+            assert obj.lock.reserver == MAIN_THREAD
+
+    def test_lock_state_matches_interpreter(self):
+        """Fingerprints include (owner, depth): faulted heap ends with the
+        same monitor state the interpreter produces."""
+        program = synchronized_counter_program()
+        _, _, vm = run_vm(program, make_plan("exception"))
+        _, ref_heap = interpreter_reference(program)
+        faulted = [e for e in vm.heap.fingerprint() if e[0] == "obj"]
+        reference = [e for e in ref_heap.fingerprint() if e[0] == "obj"]
+        assert faulted == reference
+
+
+class TestSpillRestoration:
+    def test_program_actually_spills(self):
+        program = pressure_program()
+        _, _, vm = run_vm(program, None, config=ATOMIC_FORCED)
+        assert vm.compiled["work"].compiled.num_spill_slots > 0
+
+    @pytest.mark.parametrize("reason", ALL_REASONS)
+    def test_spilled_values_survive_abort(self, reason):
+        """Aborts restore the spill frame: loop-carried values kept in
+        memory come back bit-exact, so the final sum is unperturbed."""
+        program = pressure_program()
+        result, stats, vm = run_vm(program, make_plan(reason), config=ATOMIC_FORCED)
+        expected, _ = interpreter_reference(program)
+        assert vm.compiled["work"].compiled.num_spill_slots > 0
+        assert result == expected
+        assert stats.abort_reasons.get(reason, 0) >= 1
+
+
+class TestAbortRegisters:
+    @pytest.mark.parametrize("reason", ALL_REASONS)
+    def test_reason_and_pc_registers(self, reason):
+        """§3.2: the runtime reads *why* and *where* from two registers."""
+        program = synchronized_counter_program()
+        _, stats, vm = run_vm(program, make_plan(reason))
+        assert stats.abort_reasons.get(reason, 0) >= 1
+        assert vm.machine.abort_reason_register == reason
+        assert vm.machine.abort_pc_register is not None
+
+    def test_registers_hold_last_abort(self):
+        program = synchronized_counter_program()
+        events = (
+            FaultPlan.single("assert", region_index=2, offset=3).events[0],
+            FaultPlan.single("exception", region_index=6, offset=3).events[0],
+        )
+        _, stats, vm = run_vm(program, FaultPlan(events=events))
+        assert stats.abort_reasons["assert"] == 1
+        assert stats.abort_reasons["exception"] == 1
+        assert vm.machine.abort_reason_register == "exception"
+
+
+class TestHeapRollback:
+    def test_speculative_allocations_discarded(self):
+        """Objects allocated inside an aborted region vanish: the faulted
+        heap has exactly the allocations of the clean machine run."""
+        program = synchronized_counter_program()
+        _, stats, faulted_vm = run_vm(
+            program, FaultPlan.single("conflict", region_index=4, offset=3),
+        )
+        _, _, clean_vm = run_vm(program, None)
+        assert stats.abort_reasons["conflict"] >= 1
+        assert faulted_vm.heap.fingerprint() == clean_vm.heap.fingerprint()
+        assert len(faulted_vm.heap.allocations) == len(clean_vm.heap.allocations)
+
+    def test_heap_mark_rollback_unit(self):
+        """Heap mark/rollback restores cursor, counters, and the
+        allocation list exactly."""
+        from repro.runtime.heap import Heap
+
+        heap = Heap()
+        layout = ("a", "b")
+        heap.new_object("C", layout)
+        mark = heap.mark()
+        before = heap.fingerprint()
+        heap.new_object("C", layout)
+        heap.new_array(8)
+        assert heap.fingerprint() != before
+        heap.rollback_to(mark)
+        assert heap.fingerprint() == before
+        assert len(heap.allocations) == 1

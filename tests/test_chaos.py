@@ -1,0 +1,120 @@
+"""Differential chaos acceptance: seeded faults vs. clean references.
+
+The PR's acceptance bar: a seeded chaos run (>=3 seeds x >=3 workloads)
+injecting interrupts, conflicts, capacity shrinks, spurious asserts, and
+guest exceptions produces bit-identical guest heap state and return values
+to the fault-free interpreter reference, and a forced perpetual-abort
+schedule terminates via the retry-budget fallback with the event visible
+in ``ExecStats``.
+
+``CHAOS_SEEDS`` (comma-separated ints) widens the seed matrix in CI.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.harness import run_chaos
+from repro.hw import BASELINE_4WIDE
+from repro.vm import ATOMIC
+from repro.workloads import get_workload
+
+CHAOS_WORKLOADS = ("hsqldb", "xalan", "bloat")
+
+
+def chaos_seeds():
+    raw = os.environ.get("CHAOS_SEEDS", "0,1,2")
+    return tuple(int(s) for s in raw.split(",") if s.strip())
+
+
+class TestSeededChaos:
+    @pytest.mark.parametrize("name", CHAOS_WORKLOADS)
+    def test_workload_survives_seeded_faults(self, name):
+        report = run_chaos(
+            get_workload(name), ATOMIC,
+            seeds=chaos_seeds(), max_samples=1,
+        )
+        assert report.checks, "no samples ran"
+        report.raise_on_failure()
+        # The sweep actually exercised the injector.
+        assert report.total_faults_scheduled > 0
+        for check in report.checks:
+            assert check.results_match_interpreter
+            assert check.heap_matches_clean
+            assert check.locks_quiescent
+
+    def test_sweep_covers_every_abort_reason(self):
+        """Across the matrix, all five architectural abort reasons fire."""
+        reasons = Counter()
+        for name in CHAOS_WORKLOADS:
+            report = run_chaos(
+                get_workload(name), ATOMIC,
+                seeds=chaos_seeds(), max_samples=1,
+            )
+            report.raise_on_failure()
+            for check in report.checks:
+                reasons.update(check.stats.abort_reasons)
+        assert set(reasons) == {
+            "assert", "overflow", "interrupt", "conflict", "exception"
+        }
+
+    def test_same_seed_reproduces_identical_run(self):
+        """Determinism: two sweeps with one seed agree fault-for-fault."""
+        a = run_chaos(get_workload("hsqldb"), ATOMIC, seeds=(7,),
+                      max_samples=1)
+        b = run_chaos(get_workload("hsqldb"), ATOMIC, seeds=(7,),
+                      max_samples=1)
+        assert a.ok and b.ok
+        assert [c.faults_scheduled for c in a.checks] \
+            == [c.faults_scheduled for c in b.checks]
+        assert [dict(c.stats.abort_reasons) for c in a.checks] \
+            == [dict(c.stats.abort_reasons) for c in b.checks]
+        assert [c.faulted_results for c in a.checks] \
+            == [c.faulted_results for c in b.checks]
+
+    def test_heap_matches_interpreter_when_recorded(self):
+        """The interpreter-heap comparison is recorded per check; for these
+        workloads the optimizer preserves every allocation, so it holds."""
+        report = run_chaos(get_workload("hsqldb"), ATOMIC,
+                           seeds=chaos_seeds(), max_samples=1)
+        report.raise_on_failure()
+        assert all(c.heap_matches_interpreter for c in report.checks)
+
+
+class TestAbortStormTermination:
+    def test_conflict_storm_terminates_via_fallback(self):
+        """Every region entry conflicts forever; the retry budget and the
+        permanent fallback patch keep the run finite and correct."""
+        hw = BASELINE_4WIDE.scaled(
+            region_retry_budget=4, region_fallback_threshold=64,
+        )
+        report = run_chaos(
+            get_workload("hsqldb"), ATOMIC, seeds=(0,), hw_config=hw,
+            plan_factory=lambda seed: FaultPlan.storm("conflict", offset=2),
+            max_samples=1,
+        )
+        report.raise_on_failure()
+        (check,) = report.checks
+        assert check.stats.conflict_retries > 0
+        assert sum(check.stats.region_fallbacks.values()) >= 1
+        assert check.stats.regions_suppressed > 0
+
+    def test_assert_storm_terminates_too(self):
+        hw = BASELINE_4WIDE.scaled(region_fallback_threshold=16)
+        report = run_chaos(
+            get_workload("xalan"), ATOMIC, seeds=(0,), hw_config=hw,
+            plan_factory=lambda seed: FaultPlan.storm("assert", offset=2),
+            max_samples=1,
+        )
+        report.raise_on_failure()
+        (check,) = report.checks
+        assert sum(check.stats.region_fallbacks.values()) >= 1
+
+    def test_report_describe_is_informative(self):
+        report = run_chaos(get_workload("bloat"), ATOMIC, seeds=(0,),
+                           max_samples=1)
+        text = report.describe()
+        assert "bloat" in text
+        assert "failure(s)" in text

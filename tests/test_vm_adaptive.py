@@ -157,3 +157,137 @@ class TestAdaptiveRecompilation:
         vm.end_measurement()
         controller = AdaptiveController(vm)
         assert controller.poll() == []
+
+
+def two_method_program():
+    """Two independent hot methods sharing one VM: 'work' has a
+    profile-sensitive cold path, 'steady' never aborts."""
+    pb = ProgramBuilder()
+    pb.cls("Acc", fields=["total"])
+
+    m = pb.method("work", params=("n", "mode"))
+    n, mode = m.param(0), m.param(1)
+    acc = m.new("Acc")
+    i = m.const(0)
+    one = m.const(1)
+    zero = m.const(0)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    t = m.getfield(acc, "total")
+    t2 = m.add(t, i)
+    m.putfield(acc, "total", t2)
+    m.br("eq", mode, zero, "next")
+    t3 = m.mul(t2, one)
+    neg = m.sub(zero, t3)
+    m.putfield(acc, "total", neg)
+    m.label("next")
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    out = m.getfield(acc, "total")
+    m.ret(out)
+
+    # Same shape as 'work' (a cold path gives region formation its assert-
+    # conversion benefit) but always run with mode=0, so it never aborts.
+    s = pb.method("steady", params=("n", "mode"))
+    n, mode = s.param(0), s.param(1)
+    acc = s.new("Acc")
+    i = s.const(0)
+    one = s.const(1)
+    zero = s.const(0)
+    s.label("head")
+    s.safepoint()
+    s.br("ge", i, n, "done")
+    t = s.getfield(acc, "total")
+    t2 = s.add(t, i)
+    s.putfield(acc, "total", t2)
+    s.br("eq", mode, zero, "next")
+    t3 = s.mul(t2, one)
+    neg = s.sub(zero, t3)
+    s.putfield(acc, "total", neg)
+    s.label("next")
+    s.add(i, one, dst=i)
+    s.jmp("head")
+    s.label("done")
+    out = s.getfield(acc, "total")
+    s.ret(out)
+    return pb.build()
+
+
+class TestPerMethodAbortRates:
+    """Satellite fix: rates are per method, not global over all regions."""
+
+    def make_vm(self):
+        program = two_method_program()
+        vm = TieredVM(program, ATOMIC,
+                      options=VMOptions(enable_timing=False, compile_threshold=3))
+        vm.warm_up("work", [[100, 0]] * 5)
+        vm.warm_up("steady", [[100, 0]] * 5)
+        vm.compile_hot(min_invocations=1)
+        return program, vm
+
+    def test_quiet_hot_method_cannot_dilute_noisy_one(self):
+        """'steady' racks up far more clean region entries than 'work' has
+        aborting ones.  A global aborts/entries ratio would fall below the
+        threshold and miss the recompilation; the per-method rate must not."""
+        program, vm = self.make_vm()
+        vm.start_measurement()
+        vm.run("work", [60, 1])          # phase change: aborts every region
+        for _ in range(40):
+            vm.run("steady", [200, 0])   # mountains of clean entries
+        stats = vm.end_measurement()
+
+        work_aborts = stats.aborts_by_method["work"]
+        total_entries = stats.regions_entered
+        assert work_aborts > 0
+        global_rate = stats.regions_aborted / total_entries
+        per_method_rate = stats.method_abort_rate("work")
+        threshold = 0.2
+        # The scenario is only meaningful if the dilution is real:
+        assert global_rate < threshold < per_method_rate
+
+        controller = AdaptiveController(vm, abort_rate_threshold=threshold,
+                                        min_region_entries=10)
+        decisions = controller.poll()
+        assert [d.method for d in decisions] == ["work"]
+        assert decisions[0].observed_rate >= threshold
+
+    def test_noisy_neighbour_does_not_trigger_quiet_method(self):
+        program, vm = self.make_vm()
+        vm.start_measurement()
+        vm.run("work", [60, 1])
+        vm.run("steady", [200, 0])
+        vm.end_measurement()
+        controller = AdaptiveController(vm, abort_rate_threshold=0.02,
+                                        min_region_entries=10)
+        decisions = controller.poll()
+        assert "steady" not in {d.method for d in decisions}
+
+    def test_seen_entries_make_polls_incremental(self):
+        """After a decision, both abort and entry baselines advance: a
+        second poll with no fresh activity must not re-decide."""
+        program, vm = self.make_vm()
+        vm.start_measurement()
+        vm.run("work", [60, 1])
+        vm.end_measurement()
+        controller = AdaptiveController(vm, abort_rate_threshold=0.02,
+                                        min_region_entries=10)
+        first = controller.poll()
+        assert first
+        assert controller._seen_entries["work"] == \
+            vm.stats.entries_by_method["work"]
+        assert controller.poll() == []  # no new aborts since the decision
+
+    def test_per_method_counters_tracked_in_stats(self):
+        program, vm = self.make_vm()
+        vm.start_measurement()
+        vm.run("work", [60, 1])
+        vm.run("steady", [100, 0])
+        stats = vm.end_measurement()
+        assert stats.entries_by_method["work"] > 0
+        assert stats.entries_by_method["steady"] > 0
+        assert stats.aborts_by_method["work"] > 0
+        assert stats.aborts_by_method.get("steady", 0) == 0
+        assert stats.method_abort_rate("steady") == 0.0
+        assert stats.method_abort_rate("nonexistent") == 0.0
