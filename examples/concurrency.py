@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Deterministic multi-threaded guests: real conflicts, replayable schedules.
+
+The paper's atomicity guarantee is a multi-thread property: §4's lock
+elision is sound only because region memory operations appear to other
+threads at the commit instant, and conflict aborts defend that isolation
+against concurrent writers.  This example runs two JDBCbench workers on one
+shared table under the deterministic cooperative scheduler:
+
+- switch points come from a seeded PRNG, so any interleaving replays
+  bit-for-bit from its seed;
+- the scheduler doubles as the coherence fabric: committed stores are
+  checked against in-flight regions' read/write sets and *genuine*
+  overlaps (no injection involved) abort those regions with reason
+  "conflict", retrying through the usual backoff/fallback machinery;
+- a serializability oracle checks every schedule against all serial orders
+  of the same workers on both the compiled machine and the tier-0
+  interpreter, and pins any lost update to its exact interleaving.
+
+Run:  python examples/concurrency.py
+"""
+
+from repro.harness import render_concurrency, run_concurrency_chaos
+from repro.runtime import SchedulePlan
+from repro.vm import ATOMIC, TieredVM, VMOptions
+from repro.workloads import HSQLDB_THREADED
+
+AGGRESSIVE = ATOMIC.with_aggressive_inlining()
+
+
+def one_schedule(seed: int):
+    print(f"=== one seeded schedule (seed={seed}) ===")
+    vm = TieredVM(
+        HSQLDB_THREADED.build(), compiler_config=AGGRESSIVE,
+        options=VMOptions(enable_timing=False, compile_threshold=3),
+    )
+    for args in HSQLDB_THREADED.warm_args:
+        shared = vm.run(HSQLDB_THREADED.setup)
+        vm.warm_up(HSQLDB_THREADED.worker, [[shared] + list(args)])
+    vm.compile_hot(min_invocations=1)
+
+    shared = vm.run(HSQLDB_THREADED.setup)
+    vm.start_measurement()
+    sched = vm.run_threads(
+        [(HSQLDB_THREADED.worker, [shared] + list(args), f"w{tid}")
+         for tid, args in enumerate(HSQLDB_THREADED.thread_args)],
+        plan=SchedulePlan(seed=seed, quantum=(8, 32)),
+    )
+    stats = vm.end_measurement()
+    summary = stats.summary()
+    print(f"  plan: {sched.plan.describe()}")
+    print(f"  per-thread results: {[t.result for t in sched.threads]}")
+    print(f"  shared row count:   {shared.get('count')} "
+          f"(= {sum(args[0] for args in HSQLDB_THREADED.thread_args)} inserts, "
+          "no lost updates)")
+    print(f"  context switches:   {summary['context_switches']}")
+    print(f"  real conflicts:     {summary['real_conflict_aborts']} aborted "
+          f"regions, {summary['conflict_retries']} transparent retries")
+    print(f"  contended monitors: {summary['contended_acquisitions']}")
+    print(f"  first switches:     "
+          + " ".join(f"@{s}->t{t}" for s, t in sched.trace[:8]) + " ...\n")
+
+
+def oracle_sweep():
+    print("=== serializability oracle across seeds ===")
+    report = run_concurrency_chaos(HSQLDB_THREADED, AGGRESSIVE, seeds=(0, 1, 2))
+    print(render_concurrency(report))
+    report.raise_on_failure()
+    print("every schedule matched a serial order, replayed bit-for-bit,")
+    print("and left all monitors quiescent.")
+
+
+if __name__ == "__main__":
+    one_schedule(seed=0)
+    oracle_sweep()

@@ -9,7 +9,7 @@ abort storms (``FaultPlan.storm``), terminates.
 """
 
 from .injector import FaultInjector, RegionFaultSchedule
-from .plan import FAULT_KINDS, REGION_KINDS, FaultEvent, FaultPlan
+from .plan import FAULT_KINDS, REGION_KINDS, FaultEvent, FaultPlan, derive_seed
 
 __all__ = [
     "FAULT_KINDS",
@@ -18,4 +18,5 @@ __all__ = [
     "FaultPlan",
     "REGION_KINDS",
     "RegionFaultSchedule",
+    "derive_seed",
 ]

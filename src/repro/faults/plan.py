@@ -16,7 +16,22 @@ The runtime half lives in :mod:`repro.faults.injector`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+
+
+def derive_seed(seed: int, stream: str) -> int:
+    """Derive an independent sub-seed for one named consumer of a chaos seed.
+
+    One experiment seed drives several pseudo-random streams (the fault
+    injector's region draws, the scheduler's quantum/pick draws); feeding
+    ``random.Random`` the same integer in each would correlate them.  Hashing
+    the (stream, seed) pair gives every consumer its own reproducible stream
+    while keeping a single user-facing seed.  Stable across processes and
+    Python versions (unlike ``hash``), so recorded schedules replay anywhere.
+    """
+    digest = hashlib.sha256(f"{stream}:{seed}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 #: Every injectable abort reason, matching the machine's abort-reason
 #: register values ("overflow" is the capacity-pressure fault).

@@ -1,6 +1,13 @@
 """Experiment harness: drivers and renderers for every table and figure."""
 
-from .chaos import ChaosCheck, ChaosReport, run_chaos
+from .chaos import (
+    ChaosCheck,
+    ChaosReport,
+    ConcurrencyCheck,
+    ConcurrencyReport,
+    run_chaos,
+    run_concurrency_chaos,
+)
 from .experiment import (
     RunResult,
     SampleResult,
@@ -21,12 +28,14 @@ from .figures import (
     table2,
     table3,
 )
-from .report import render, render_all
+from .report import render, render_all, render_concurrency
 
 __all__ = [
     "BENCH_ORDER",
     "ChaosCheck",
     "ChaosReport",
+    "ConcurrencyCheck",
+    "ConcurrencyReport",
     "FigureData",
     "RunResult",
     "SampleResult",
@@ -37,7 +46,9 @@ __all__ = [
     "figure9",
     "render",
     "render_all",
+    "render_concurrency",
     "run_chaos",
+    "run_concurrency_chaos",
     "run_workload",
     "section62",
     "section63",

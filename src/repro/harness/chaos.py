@@ -30,15 +30,17 @@ The checker then asserts, per sample:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from ..faults import FaultInjector, FaultPlan
 from ..hw.config import BASELINE_4WIDE, HardwareConfig
 from ..hw.stats import ExecStats
 from ..runtime.interpreter import Interpreter
+from ..runtime.sched import SchedulePlan
 from ..vm.compiler import CompilerConfig
 from ..vm.vm import TieredVM, VMOptions
-from ..workloads.base import Workload
+from ..workloads.base import ThreadedWorkload, Workload
 
 
 @dataclass
@@ -197,4 +199,252 @@ def run_chaos(
                 faulted_results=results,
                 expected_results=expected,
             ))
+    return report
+
+
+# -- serializability oracle for deterministic multi-threaded runs -------------
+
+@dataclass
+class ConcurrencyCheck:
+    """Outcome of one (threaded workload, schedule seed) oracle run.
+
+    A seeded interleaving passes when (a) the per-thread worker results and
+    the final heap fingerprint equal *some* serial-order execution of the
+    same workers — on both the compiled machine and the tier-0 interpreter
+    — (b) re-running the same seed reproduces the run bit-for-bit (results,
+    fingerprint, and context-switch trace), and (c) every monitor ends
+    quiescent.  A serializability failure is exactly a lost update /
+    atomicity violation, and :attr:`violation` pins the schedule: the
+    interleaving trace and the per-region commit/abort counts.
+    """
+
+    workload: str
+    seed: int
+    threads: int
+    serializable: bool
+    replay_identical: bool
+    heap_matches_interpreter: bool
+    locks_quiescent: bool
+    #: the serial order the threaded run matched (None on violation).
+    serial_order: tuple | None
+    stats: ExecStats
+    trace: list = field(default_factory=list)
+    threaded_results: list = field(default_factory=list)
+    violation: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return (self.serializable and self.replay_identical
+                and self.locks_quiescent)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        out = (
+            f"{self.workload} seed={self.seed} threads={self.threads}: "
+            f"{status} (serial_order={self.serial_order}, "
+            f"replay={'ok' if self.replay_identical else 'DIVERGED'}, "
+            f"switches={self.stats.context_switches}, "
+            f"real_conflicts={self.stats.real_conflict_aborts}, "
+            f"contended={self.stats.contended_acquisitions})"
+        )
+        if self.violation is not None:
+            out += "\n" + self.violation
+        return out
+
+
+@dataclass
+class ConcurrencyReport:
+    """All checks from one :func:`run_concurrency_chaos` sweep."""
+
+    checks: list[ConcurrencyCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> list[ConcurrencyCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.checks]
+        lines.append(
+            f"{len(self.checks)} schedules, "
+            f"{sum(c.stats.real_conflict_aborts for c in self.checks)} real "
+            f"conflict aborts, {len(self.failures())} failure(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "serializability check failed:\n" + self.describe()
+            )
+
+
+def _threaded_vm(
+    workload: ThreadedWorkload,
+    compiler_config: CompilerConfig,
+    hw_config: HardwareConfig,
+) -> TieredVM:
+    """Fresh VM with profiles warmed and hot methods compiled."""
+    vm = TieredVM(
+        workload.build(),
+        compiler_config=compiler_config,
+        hw_config=hw_config,
+        options=VMOptions(enable_timing=False, compile_threshold=3),
+    )
+    for args in workload.warm_args:
+        shared = vm.run(workload.setup)
+        vm.warm_up(workload.worker, [[shared] + list(args)])
+    vm.compile_hot(min_invocations=1)
+    return vm
+
+
+def _threaded_run(
+    workload: ThreadedWorkload,
+    compiler_config: CompilerConfig,
+    hw_config: HardwareConfig,
+    plan: SchedulePlan,
+):
+    """One scheduled N-thread execution; returns (results, fp, stats, sched, vm)."""
+    vm = _threaded_vm(workload, compiler_config, hw_config)
+    shared = vm.run(workload.setup)
+    vm.start_measurement()
+    sched = vm.run_threads(
+        [(workload.worker, [shared] + list(args), f"w{tid}")
+         for tid, args in enumerate(workload.thread_args)],
+        plan=plan,
+    )
+    stats = vm.end_measurement()
+    results = [thread.result for thread in sched.threads]
+    return results, vm.heap.fingerprint(), stats, sched, vm
+
+
+def _serial_machine(
+    workload: ThreadedWorkload,
+    compiler_config: CompilerConfig,
+    hw_config: HardwareConfig,
+    order: tuple,
+):
+    """The same workers run to completion one at a time, in ``order``."""
+    vm = _threaded_vm(workload, compiler_config, hw_config)
+    shared = vm.run(workload.setup)
+    results: dict[int, object] = {}
+    for tid in order:
+        results[tid] = vm.run(
+            workload.worker, [shared] + list(workload.thread_args[tid])
+        )
+    return ([results[t] for t in range(workload.threads)],
+            vm.heap.fingerprint())
+
+
+def _serial_interpreter(workload: ThreadedWorkload, order: tuple):
+    """Pure tier-0 bytecode semantics for one serial order."""
+    program = workload.build()
+    interp = Interpreter(program)
+    setup = program.resolve_static(workload.setup)
+    worker = program.resolve_static(workload.worker)
+    for args in workload.warm_args:
+        shared = interp.invoke(setup, [])
+        interp.invoke(worker, [shared] + list(args))
+    shared = interp.invoke(setup, [])
+    results: dict[int, object] = {}
+    for tid in order:
+        results[tid] = interp.invoke(
+            worker, [shared] + list(workload.thread_args[tid])
+        )
+    return ([results[t] for t in range(workload.threads)],
+            interp.heap.fingerprint())
+
+
+def _violation_report(workload, sched, stats, results, serial) -> str:
+    """Pin a serializability failure to its schedule and regions."""
+    lines = [
+        f"atomicity violation: no serial order of {workload.threads} "
+        f"workers reproduces schedule {sched.plan.describe()}",
+        f"  threaded results: {results}",
+    ]
+    for order, (s_results, _fp) in serial.items():
+        lines.append(f"  serial {order}: {s_results}")
+    for key, entries in sorted(stats.entries_by_region.items()):
+        aborts = stats.aborts_by_region.get(key, 0)
+        lines.append(
+            f"  region {key}: {entries} entries, {aborts} aborts"
+        )
+    trace = sched.trace
+    shown = trace[-40:]
+    prefix = f"(last {len(shown)} of {len(trace)}) " if len(shown) < len(trace) else ""
+    lines.append(
+        "  interleaving " + prefix
+        + " ".join(f"@{step}->t{tid}" for step, tid in shown)
+    )
+    return "\n".join(lines)
+
+
+def run_concurrency_chaos(
+    workload: ThreadedWorkload,
+    compiler_config: CompilerConfig,
+    seeds=(0, 1, 2),
+    hw_config: HardwareConfig = BASELINE_4WIDE,
+    quantum: tuple[int, int] = (8, 32),
+) -> ConcurrencyReport:
+    """Serializability sweep: every seeded schedule vs. every serial order.
+
+    For each seed the workload's workers run under the deterministic
+    scheduler (twice — the second run checks bit-for-bit replay), and the
+    outcome is compared against all ``threads!`` serial-order executions on
+    both the compiled machine and the tier-0 interpreter.  Any schedule
+    whose committed results/heap match no serial order is an atomicity
+    violation and is reported with its interleaving and region counters.
+    """
+    orders = list(itertools.permutations(range(workload.threads)))
+    serial_m = {
+        order: _serial_machine(workload, compiler_config, hw_config, order)
+        for order in orders
+    }
+    serial_i = {
+        order: _serial_interpreter(workload, order) for order in orders
+    }
+
+    report = ConcurrencyReport()
+    for seed in seeds:
+        plan = SchedulePlan(seed=seed, quantum=quantum)
+        results, fp, stats, sched, vm = _threaded_run(
+            workload, compiler_config, hw_config, plan,
+        )
+        r_results, r_fp, _r_stats, r_sched, _r_vm = _threaded_run(
+            workload, compiler_config, hw_config, plan,
+        )
+        replay_identical = (
+            results == r_results and fp == r_fp
+            and sched.trace == r_sched.trace
+        )
+        match = None
+        for order in orders:
+            m_results, m_fp = serial_m[order]
+            i_results, _i_fp = serial_i[order]
+            if results == m_results == i_results and fp == m_fp:
+                match = order
+                break
+        violation = None
+        if match is None:
+            violation = _violation_report(
+                workload, sched, stats, results, serial_m,
+            )
+        report.checks.append(ConcurrencyCheck(
+            workload=workload.name,
+            seed=seed,
+            threads=workload.threads,
+            serializable=match is not None,
+            replay_identical=replay_identical,
+            heap_matches_interpreter=(
+                match is not None and fp == serial_i[match][1]
+            ),
+            locks_quiescent=vm.heap.locks_quiescent(),
+            serial_order=match,
+            stats=stats,
+            trace=list(sched.trace),
+            threaded_results=results,
+            violation=violation,
+        ))
     return report

@@ -32,3 +32,37 @@ def render(data: FigureData, width: int = 10) -> str:
 
 def render_all(figures: list[FigureData]) -> str:
     return "\n\n".join(render(f) for f in figures)
+
+
+def render_concurrency(report) -> str:
+    """Render a :class:`~repro.harness.chaos.ConcurrencyReport` with the
+    per-schedule concurrency counters (real vs. injected conflict aborts,
+    contended acquisitions, context switches, per-thread retired uops)."""
+    header = (
+        f"{'schedule':24s}{'ok':>5s}{'serial':>10s}{'switch':>8s}"
+        f"{'real':>6s}{'inj':>6s}{'cont':>6s}  per-thread uops"
+    )
+    lines = ["serializability sweep", "-" * len(header), header]
+    for check in report.checks:
+        stats = check.stats
+        per_thread = " ".join(
+            f"t{tid}:{uops}" for tid, uops in sorted(stats.uops_by_thread.items())
+        )
+        order = ("".join(map(str, check.serial_order))
+                 if check.serial_order is not None else "NONE")
+        lines.append(
+            f"{check.workload + ' seed=' + str(check.seed):24s}"
+            f"{'ok' if check.ok else 'FAIL':>5s}{order:>10s}"
+            f"{stats.context_switches:>8d}"
+            f"{stats.real_conflict_aborts:>6d}"
+            f"{stats.injected_conflict_aborts:>6d}"
+            f"{stats.contended_acquisitions:>6d}  {per_thread}"
+        )
+    failures = report.failures()
+    lines.append(
+        f"{len(report.checks)} schedules, {len(failures)} failure(s)"
+    )
+    for check in failures:
+        if check.violation is not None:
+            lines.append(check.violation)
+    return "\n".join(lines)

@@ -65,6 +65,12 @@ class HardwareConfig:
     #: (permanent non-speculative fallback); None disables escalation.
     region_fallback_threshold: int | None = 64
 
+    @property
+    def line_shift(self) -> int:
+        """log2 of the L1 line size: the granularity at which atomic-region
+        read/write sets are tracked and cross-thread conflicts detected."""
+        return self.l1_config.line_bytes.bit_length() - 1
+
     def scaled(self, **changes) -> "HardwareConfig":
         return replace(self, **changes)
 

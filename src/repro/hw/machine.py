@@ -26,6 +26,7 @@ from ..runtime.errors import (
     BoundsError,
     GuestArithmeticError,
     GuestError,
+    MonitorStateError,
     NullPointerError,
     VMError,
 )
@@ -61,10 +62,20 @@ class _RegionState:
     begin_pc: int = 0
     #: heap allocator snapshot: speculative allocations roll back on abort.
     heap_mark: tuple | None = None
+    #: speculative allocations, retracted individually on abort (other
+    #: guest threads may have allocated since the mark).
+    allocs: list = field(default_factory=list)
     #: injected region-relative faults armed for this entry.
     faults: RegionFaultSchedule | None = None
-    #: (id(compiled), region id): keys the forward-progress counters.
+    #: (thread, id(compiled), region id): keys the forward-progress counters.
     progress_key: tuple = ()
+    #: guest thread executing the region and its scan position in the
+    #: scheduler's committed-store log (cross-thread conflict detection).
+    owner_tid: int = MAIN_THREAD
+    log_index: int = 0
+    #: True when the abort was a *genuine* cross-thread conflict (store-set
+    #: overlap or a contended monitor), not an injected one.
+    real_conflict: bool = False
 
 
 def _machine_compare(cond: str, a: Value, b: Value) -> bool:
@@ -118,6 +129,11 @@ class Machine:
         self.fault_injector = fault_injector
         self.conflict_injector = conflict_injector
         self.interrupt_interval = interrupt_interval
+        #: deterministic guest scheduler (attached by TieredVM.run_threads);
+        #: None keeps the machine single-threaded and bit-identical to the
+        #: pre-scheduler behaviour.
+        self.sched = None
+        self._line_shift = config.line_shift
         self._code_bases: dict[int, int] = {}
         #: strong refs to installed code: keys of the per-region progress
         #: counters are id()s, which must never be recycled underneath us.
@@ -160,8 +176,16 @@ class Machine:
         region: _RegionState | None = None
         stats = self.stats
         timing = self.timing
+        sched = self.sched
+        # This activation runs on exactly one guest thread's host thread, so
+        # the tid is constant for the whole frame.
+        tid = (sched.current.tid
+               if sched is not None and sched.current is not None
+               else MAIN_THREAD)
 
         while True:
+            if sched is not None:
+                sched.on_step()
             instr = instrs[pc]
             op = instr.op
             self.uops_executed += 1
@@ -247,21 +271,58 @@ class Machine:
                     obj = self._require(regs[instr.a], GuestObject)
                     mem_address = obj.lock_address()
                     self._track_read(region, mem_address)
-                    regs[instr.dst] = 1 if obj.lock.held_by_other(MAIN_THREAD) else 0
+                    regs[instr.dst] = 1 if obj.lock.held_by_other(tid) else 0
                     stats.monitor_ops += 1
                 elif op is MOp.STORELOCK:
                     obj = self._require(regs[instr.a], GuestObject)
+                    lock = obj.lock
                     mem_address = obj.lock_address()
                     if region is not None:
+                        pre = (lock.owner, lock.depth, lock.reserver)
+                        region.write_lines.add(
+                            mem_address >> self._line_shift)
+                        if instr.imm == 1:
+                            outcome = lock.enter(tid)
+                            if outcome == "blocked":
+                                # A speculative region must not wait: the
+                                # monitor is genuinely contended, so abort
+                                # as a real conflict (retry/backoff path).
+                                region.real_conflict = True
+                                self._tick(instr, mem_address, timing)
+                                pc = self._do_abort(
+                                    compiled, region, "conflict",
+                                    code_base + pc, None, regs, spill,
+                                )
+                                region = None
+                                continue
+                        else:
+                            lock.exit(tid)
                         region.lock_log.append(
-                            (obj.lock, obj.lock.owner, obj.lock.depth,
-                             obj.lock.reserver)
+                            (lock, pre,
+                             (lock.owner, lock.depth, lock.reserver))
                         )
-                        region.write_lines.add(mem_address >> 6)
-                    if instr.imm == 1:
-                        obj.lock.enter(MAIN_THREAD)
+                    elif instr.imm == 1:
+                        outcome = lock.enter(tid)
+                        if outcome == "blocked":
+                            if sched is None:
+                                raise MonitorStateError(
+                                    f"monitor owned by thread {lock.owner} "
+                                    f"contended by thread {tid} with no "
+                                    "scheduler attached"
+                                )
+                            while outcome == "blocked":
+                                sched.block_on(lock)
+                                outcome = lock.enter(tid)
+                            lock.contended_acquisitions += 1
+                            sched.contended_acquisitions += 1
+                        if sched is not None:
+                            sched.note_store(mem_address)
                     else:
-                        obj.lock.exit(MAIN_THREAD)
+                        lock.exit(tid)
+                        if sched is not None:
+                            if lock.waiters:
+                                sched.wake_all(lock)
+                            sched.note_store(mem_address)
                     stats.stores += 1
                 elif op is MOp.LOADSPILL:
                     regs[instr.dst] = spill[instr.imm]
@@ -276,8 +337,12 @@ class Machine:
                 elif op is MOp.NEWOBJ:
                     layout = self.program.field_layout(instr.cls)
                     regs[instr.dst] = self.heap.new_object(instr.cls, layout)
+                    if region is not None:
+                        region.allocs.append(regs[instr.dst])
                 elif op is MOp.NEWARR:
                     regs[instr.dst] = self.heap.new_array(regs[instr.a])
+                    if region is not None:
+                        region.allocs.append(regs[instr.dst])
                 elif op is MOp.BR:
                     taken = _machine_compare(instr.cond, regs[instr.a],
                                              regs[instr.b] if instr.b is not None else None)
@@ -338,12 +403,25 @@ class Machine:
                         self._tick(instr, mem_address, timing)
                         pc = instr.target
                         continue
-                    region = self._begin_region(compiled, instr, regs, spill, pc)
+                    region = self._begin_region(compiled, instr, regs, spill,
+                                                pc, tid)
                     if timing is not None:
                         timing.region_begin()
                 elif op is MOp.AREGION_END:
                     if region is None:
                         raise VMError("aregion_end outside a region")
+                    # Commit-instant check: the on_step above may have let
+                    # another thread run (and commit stores) since the last
+                    # retirement check; a region must not commit over them.
+                    if self._real_conflict(region):
+                        region.real_conflict = True
+                        self._tick(instr, mem_address, timing)
+                        pc = self._do_abort(
+                            compiled, region, "conflict", code_base + pc,
+                            None, regs, spill,
+                        )
+                        region = None
+                        continue
                     self._commit(region)
                     if timing is not None:
                         timing.region_end()
@@ -435,7 +513,8 @@ class Machine:
             self.stats.loads += 1
 
     # -- region mechanics ---------------------------------------------------
-    def _begin_region(self, compiled, instr, regs, spill, pc) -> _RegionState:
+    def _begin_region(self, compiled, instr, regs, spill, pc,
+                      tid: int = MAIN_THREAD) -> _RegionState:
         record = RegionExecution(region_key=(compiled.name, instr.imm))
         region = _RegionState(
             region_id=instr.imm,
@@ -445,8 +524,11 @@ class Machine:
             record=record,
             begin_pc=pc,
             heap_mark=self.heap.mark(),
-            progress_key=(id(compiled), instr.imm),
+            progress_key=(tid, id(compiled), instr.imm),
+            owner_tid=tid,
         )
+        if self.sched is not None:
+            region.log_index = self.sched.region_begin(tid)
         if self.fault_injector is not None:
             region.faults = self.fault_injector.schedule_region(record)
             region.conflict_at = region.faults.conflict_at
@@ -454,7 +536,7 @@ class Machine:
 
     def _track_read(self, region: _RegionState | None, address: int) -> None:
         if region is not None:
-            region.read_lines.add(address >> 6)
+            region.read_lines.add(address >> self._line_shift)
 
     def _read_field(self, region, obj, slot):
         if region is not None:
@@ -476,10 +558,40 @@ class Machine:
                 target.slots[slot] = value
             else:
                 target.values[slot] = value
+            if self.sched is not None:
+                self.sched.note_store(address)
             return
         kind = "f" if isinstance(target, GuestObject) else "a"
         region.store_buffer[(id(target), kind, slot)] = (target, slot, value)
-        region.write_lines.add(address >> 6)
+        region.write_lines.add(address >> self._line_shift)
+
+    def _real_conflict(self, region: _RegionState) -> bool:
+        """Scan new committed-store-log entries for a genuine overlap.
+
+        The scheduler logs every committed/non-speculative store (as
+        ``(tid, line)``) while regions are in flight; a store from another
+        thread that touches a line in this region's read or write set is a
+        real coherence conflict — exactly the eviction-of-a-tracked-line
+        condition of §3.3.  ``log_index`` advances so each entry is scanned
+        once.
+        """
+        sched = self.sched
+        if sched is None:
+            return False
+        log = sched.store_log
+        index = region.log_index
+        if index >= len(log):
+            return False
+        tid = region.owner_tid
+        reads = region.read_lines
+        writes = region.write_lines
+        hit = False
+        for other, line in log[index:]:
+            if other != tid and (line in reads or line in writes):
+                hit = True
+                break
+        region.log_index = len(log)
+        return hit
 
     def _commit(self, region: _RegionState) -> None:
         for target, slot, value in region.store_buffer.values():
@@ -487,6 +599,19 @@ class Machine:
                 target.slots[slot] = value
             else:
                 target.values[slot] = value
+        sched = self.sched
+        if sched is not None:
+            sched.region_end(region.owner_tid)
+            # The commit itself is a burst of stores becoming visible "at
+            # an instant": other still-in-flight regions must see them.
+            if sched.logging:
+                for line in region.write_lines:
+                    sched.note_store_line(region.owner_tid, line)
+            # Monitors released inside the region are only *really*
+            # released now that the region committed.
+            for lock, _pre, _post in region.lock_log:
+                if lock.owner is None and lock.waiters:
+                    sched.wake_all(lock)
         record = region.record
         record.committed = True
         record.lines_read = len(region.read_lines)
@@ -501,6 +626,9 @@ class Machine:
 
     def _hw_condition(self, region: _RegionState) -> str | None:
         """Best-effort hardware abort conditions, checked at retirement."""
+        if self._real_conflict(region):
+            region.real_conflict = True
+            return "conflict"
         line_limit = self.config.region_line_limit
         faults = region.faults
         if faults is not None and faults.line_limit is not None:
@@ -548,20 +676,38 @@ class Machine:
         record.abort_reason = reason
         record.abort_pc = abort_pc
         self.stats.note_region(record)
+        sched = self.sched
+        if sched is not None:
+            sched.region_end(region.owner_tid)
+        if reason == "conflict":
+            if region.real_conflict:
+                self.stats.real_conflict_aborts += 1
+            else:
+                self.stats.injected_conflict_aborts += 1
         if abort_id is not None:
             self.stats.abort_sites[
                 (compiled.name, region.region_id, abort_id)
             ] += 1
-        for lock, owner, depth, reserver in reversed(region.lock_log):
-            lock.owner = owner
-            lock.depth = depth
-            lock.reserver = reserver
+        for lock, pre, post in reversed(region.lock_log):
+            # Undo the speculative monitor operation — but only if the lock
+            # word still holds the state this region left it in.  Another
+            # thread may have legitimately acquired a monitor the region
+            # speculatively released (that store made the region abort);
+            # clobbering its ownership would corrupt the lock.
+            if (lock.owner, lock.depth, lock.reserver) == post:
+                lock.owner, lock.depth, lock.reserver = pre
         regs[:] = region.checkpoint_regs
         spill[:] = region.checkpoint_spill
         if region.heap_mark is not None:
-            self.heap.rollback_to(region.heap_mark)
+            self.heap.discard_speculative(region.heap_mark, region.allocs)
         self.abort_reason_register = reason
         self.abort_pc_register = abort_pc
+        if sched is not None:
+            # Rollback may have released monitors acquired inside the
+            # region while other threads were already parked on them.
+            for lock, _pre, _post in region.lock_log:
+                if lock.owner is None and lock.waiters:
+                    sched.wake_all(lock)
         if self.timing is not None:
             self.timing.region_abort()
 

@@ -62,6 +62,18 @@ class ExecStats:
     regions_suppressed: int = 0
     region_fallbacks: Counter = field(default_factory=Counter)
 
+    #: concurrency (deterministic multi-threaded runs; all zero/empty when
+    #: threads=1, so single-threaded figures are unaffected).  Conflict
+    #: aborts split by provenance: ``real`` = a genuine cross-thread
+    #: store-set overlap or contended monitor detected by the conflict bus,
+    #: ``injected`` = scheduled by a :class:`~repro.faults.FaultPlan`.
+    real_conflict_aborts: int = 0
+    injected_conflict_aborts: int = 0
+    contended_acquisitions: int = 0
+    context_switches: int = 0
+    #: tid -> retired guest steps, copied from the scheduler after a run.
+    uops_by_thread: Counter = field(default_factory=Counter)
+
     region_sizes: list[int] = field(default_factory=list)
     region_lines: list[int] = field(default_factory=list)
 
@@ -150,4 +162,9 @@ class ExecStats:
             "conflict_retries": self.conflict_retries,
             "region_fallbacks": sum(self.region_fallbacks.values()),
             "regions_suppressed": self.regions_suppressed,
+            "real_conflict_aborts": self.real_conflict_aborts,
+            "injected_conflict_aborts": self.injected_conflict_aborts,
+            "contended_acquisitions": self.contended_acquisitions,
+            "context_switches": self.context_switches,
+            "threads": max(len(self.uops_by_thread), 1),
         }

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..lang.bytecode import Program
-from ..runtime.errors import GuestArithmeticError, GuestError, VMError
+from ..runtime.errors import (
+    GuestArithmeticError,
+    GuestError,
+    MonitorStateError,
+    VMError,
+)
 from ..runtime.heap import GuestArray, GuestObject, Heap, Value
 from ..runtime.interpreter import compare, guest_div, guest_mod, wrap_int
 from ..runtime.locks import MAIN_THREAD
@@ -326,7 +331,13 @@ class IRExecutor:
         elif kind is Kind.MONITOR_ENTER:
             lock = get(0).lock
             self._log_lock(checkpoint, lock)
-            lock.enter(MAIN_THREAD)
+            if lock.enter(MAIN_THREAD) == "blocked":
+                # The IR executor is a single-threaded shim: no other thread
+                # can ever release the monitor, so waiting is a deadlock.
+                raise MonitorStateError(
+                    f"monitor owned by thread {lock.owner} contended with "
+                    "no scheduler attached"
+                )
         elif kind is Kind.MONITOR_EXIT:
             lock = get(0).lock
             self._log_lock(checkpoint, lock)

@@ -2,6 +2,7 @@
 
 from .errors import (
     BoundsError,
+    DeadlockError,
     GuestArithmeticError,
     GuestError,
     MonitorStateError,
@@ -19,6 +20,7 @@ from .heap import (
 )
 from .interpreter import Interpreter, block_leaders, compare, guest_div, guest_mod, wrap_int
 from .locks import LockWord, MAIN_THREAD
+from .sched import DeterministicScheduler, GuestThread, SchedulePlan
 from .profile import (
     BranchProfile,
     CallSiteProfile,
@@ -33,10 +35,13 @@ __all__ = [
     "BranchProfile",
     "CallSiteProfile",
     "COLD_EDGE_BIAS",
+    "DeadlockError",
+    "DeterministicScheduler",
     "GuestArithmeticError",
     "GuestArray",
     "GuestError",
     "GuestObject",
+    "GuestThread",
     "Heap",
     "Interpreter",
     "LockWord",
@@ -46,6 +51,7 @@ __all__ = [
     "NullPointerError",
     "OBJECT_HEADER_BYTES",
     "ProfileStore",
+    "SchedulePlan",
     "VMError",
     "Value",
     "WORD_BYTES",

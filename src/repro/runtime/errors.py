@@ -36,5 +36,11 @@ class MonitorStateError(GuestError):
     """Structurally ill-formed monitor usage (exit without enter, etc.)."""
 
 
+class DeadlockError(GuestError):
+    """Every live guest thread is blocked on a monitor: no schedule exists
+    that makes progress.  Raised by the deterministic scheduler with a dump
+    of each thread's state so the offending interleaving can be replayed."""
+
+
 class VMError(Exception):
     """An internal VM invariant violation (a bug in this library, not the guest)."""

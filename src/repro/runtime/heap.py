@@ -191,6 +191,33 @@ class Heap:
          self.bytes_allocated, count) = mark
         del self.allocations[count:]
 
+    def discard_speculative(self, mark: tuple, allocs: list) -> None:
+        """Retract exactly the allocations in ``allocs`` (an aborted
+        region's speculative allocations, in allocation order).
+
+        Single-threaded, every allocation since ``mark`` belongs to the
+        aborting region, so the whole allocator state — cursor included —
+        rewinds to the mark, bit-identical to the old behaviour.  Under the
+        deterministic scheduler, *other* guest threads may have allocated
+        since the mark; a blanket rewind would destroy their live objects,
+        so only the region's own allocations are unlinked (the bump cursor
+        is not rewound — on real hardware the other thread's bump advanced
+        it past the mark anyway, so those addresses are simply never
+        reused).
+        """
+        count = mark[4]
+        if len(self.allocations) - count == len(allocs):
+            self.rollback_to(mark)
+            return
+        doomed = {id(x) for x in allocs}
+        self.allocations = [x for x in self.allocations if id(x) not in doomed]
+        for x in allocs:
+            if isinstance(x, GuestObject):
+                self.objects_allocated -= 1
+            else:
+                self.arrays_allocated -= 1
+            self.bytes_allocated -= (x.size_bytes() + 15) & ~15
+
     # -- differential state checks ------------------------------------------
     def fingerprint(self) -> tuple:
         """Canonical image of the whole heap, in allocation order.

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Protocol
 
 from ..lang.bytecode import Instr, Method, Op, Program
-from .errors import GuestArithmeticError, VMError
+from .errors import GuestArithmeticError, MonitorStateError, VMError
 from .heap import Heap, Value, require_array, require_object
 from .locks import MAIN_THREAD
 from .profile import ProfileStore
@@ -116,6 +116,9 @@ class Interpreter:
         self.fuel = fuel
         self.bytecodes_executed = 0
         self.safepoints_polled = 0
+        #: deterministic guest scheduler (attached by TieredVM.run_threads);
+        #: None keeps the interpreter single-threaded.
+        self.sched = None
         self._leader_cache: dict[int, frozenset[int]] = {}
 
     # -- entry points -------------------------------------------------------
@@ -143,7 +146,14 @@ class Interpreter:
         instrs = method.instrs
         pc = 0
         block_counts = prof.block_counts
+        sched = self.sched
+        # One activation runs on exactly one guest thread's host thread.
+        tid = (sched.current.tid
+               if sched is not None and sched.current is not None
+               else MAIN_THREAD)
         while True:
+            if sched is not None:
+                sched.on_step()
             if pc in leaders:
                 block_counts[pc] += 1
             instr = instrs[pc]
@@ -203,11 +213,17 @@ class Interpreter:
             elif op is Op.GETF:
                 regs[instr.dst] = require_object(regs[instr.a]).get(instr.fieldname)
             elif op is Op.PUTF:
-                require_object(regs[instr.a]).put(instr.fieldname, regs[instr.b])
+                obj = require_object(regs[instr.a])
+                obj.put(instr.fieldname, regs[instr.b])
+                if sched is not None and sched.logging:
+                    sched.note_store(obj.field_address(instr.fieldname))
             elif op is Op.ALOAD:
                 regs[instr.dst] = require_array(regs[instr.a]).load(regs[instr.b])
             elif op is Op.ASTORE:
-                require_array(regs[instr.a]).store(regs[instr.b], regs[instr.c])
+                arr = require_array(regs[instr.a])
+                arr.store(regs[instr.b], regs[instr.c])
+                if sched is not None and sched.logging:
+                    sched.note_store(arr.element_address(regs[instr.b]))
             elif op is Op.ALEN:
                 regs[instr.dst] = require_array(regs[instr.a]).length
             elif op is Op.CALL:
@@ -221,9 +237,31 @@ class Interpreter:
                 call_args = [regs[r] for r in instr.args]
                 regs[instr.dst] = self.dispatcher.invoke(callee, call_args)
             elif op is Op.MENTER:
-                require_object(regs[instr.a]).lock.enter(MAIN_THREAD)
+                obj = require_object(regs[instr.a])
+                lock = obj.lock
+                outcome = lock.enter(tid)
+                if outcome == "blocked":
+                    if sched is None:
+                        raise MonitorStateError(
+                            f"monitor owned by thread {lock.owner} contended "
+                            f"by thread {tid} with no scheduler attached"
+                        )
+                    # Park until the owner releases, then re-contend (Mesa).
+                    while outcome == "blocked":
+                        sched.block_on(lock)
+                        outcome = lock.enter(tid)
+                    lock.contended_acquisitions += 1
+                    sched.contended_acquisitions += 1
+                if sched is not None and sched.logging:
+                    sched.note_store(obj.lock_address())
             elif op is Op.MEXIT:
-                require_object(regs[instr.a]).lock.exit(MAIN_THREAD)
+                obj = require_object(regs[instr.a])
+                obj.lock.exit(tid)
+                if sched is not None:
+                    if obj.lock.waiters:
+                        sched.wake_all(obj.lock)
+                    if sched.logging:
+                        sched.note_store(obj.lock_address())
             elif op is Op.SAFEPOINT:
                 self.safepoints_polled += 1
             elif op is Op.NOP:

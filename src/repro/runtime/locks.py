@@ -29,7 +29,8 @@ class LockWord:
     acquisition count.
     """
 
-    __slots__ = ("reserver", "owner", "depth", "acquisitions", "contended_acquisitions")
+    __slots__ = ("reserver", "owner", "depth", "acquisitions",
+                 "contended_acquisitions", "waiters")
 
     def __init__(self) -> None:
         self.reserver: int | None = None
@@ -37,6 +38,8 @@ class LockWord:
         self.depth = 0
         self.acquisitions = 0
         self.contended_acquisitions = 0
+        #: guest threads parked on this monitor (scheduler-managed, FIFO).
+        self.waiters: list = []
 
     def is_free(self) -> bool:
         return self.owner is None
@@ -50,24 +53,27 @@ class LockWord:
         return self.owner is not None and self.owner != thread
 
     def enter(self, thread: int = MAIN_THREAD) -> str:
-        """Acquire the monitor; returns the path taken for cost accounting.
+        """Try to acquire the monitor; returns the path taken.
 
         Returns one of ``"reserved"`` (reservation fast path), ``"nested"``
         (recursive acquisition), ``"unreserved"`` (first acquisition, claims
-        the reservation), or ``"contended"`` (had to take the slow path; in a
-        single-threaded run this never happens naturally).
+        the reservation), ``"contended"`` (acquired, but through the slow
+        path because the reservation belongs to another thread), or
+        ``"blocked"`` — the monitor is *owned* by another thread and was NOT
+        acquired.  A ``"blocked"`` caller must either park on
+        :attr:`waiters` (scheduler present) and retry after a wake-up, or
+        raise :class:`MonitorStateError` (single-threaded shims, where no
+        owner can ever release the lock).  Mutual exclusion lives here: the
+        old behaviour of stealing the lock on contention would break the
+        moment a second thread exists.
         """
-        self.acquisitions += 1
         if self.owner == thread:
+            self.acquisitions += 1
             self.depth += 1
             return "nested"
         if self.owner is not None:
-            # Contended: in real hardware this blocks; the single-threaded
-            # guest only reaches this via conflict-injection tests.
-            self.contended_acquisitions += 1
-            self.owner = thread
-            self.depth = 1
-            return "contended"
+            return "blocked"
+        self.acquisitions += 1
         self.owner = thread
         self.depth = 1
         if self.reserver is None:

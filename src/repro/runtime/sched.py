@@ -1,0 +1,298 @@
+"""Deterministic cooperative scheduler for multi-threaded guest execution.
+
+The paper's atomicity guarantee is a multi-thread property: §4's lock
+elision is sound only because region memory operations appear to other
+threads to happen at the commit instant, and conflict aborts exist to
+preserve that isolation against concurrent writers.  Testing the guarantee
+therefore needs *real* interleavings — but reproducible ones, so a failing
+schedule can be replayed bit-for-bit from its seed.
+
+This module provides that: N guest threads, each a host thread carrying one
+``vm.run(...)`` activation, scheduled cooperatively by passing a baton — at
+most one guest thread executes at any instant, so guest semantics are fully
+sequential and every heap/lock mutation happens in a deterministic total
+order.  Switch points are uop-count quanta drawn from a seeded PRNG (the
+same ``derive_seed`` convention the fault subsystem uses, so one chaos seed
+drives independent fault and schedule streams).  The scheduler also plays
+the role of the coherence fabric: committed stores are appended to a store
+log that in-flight atomic regions check their read/write sets against, so
+a genuine overlap — not an injected one — raises a ``"conflict"`` abort.
+
+Determinism argument: scheduling decisions depend only on (a) the seeded
+PRNG and (b) retired-uop counts, which are themselves functions of guest
+semantics; since only one guest thread runs at a time, guest semantics are
+deterministic; by induction the whole interleaving is a pure function of
+(program, inputs, seed).  :attr:`DeterministicScheduler.trace` records it
+for replay comparison.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from ..faults.plan import derive_seed
+from .errors import DeadlockError, VMError
+
+#: default 64-byte cache lines (the machine overrides from its config).
+DEFAULT_LINE_SHIFT = 6
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """Frozen description of one seeded schedule (hashable, cacheable).
+
+    ``quantum`` is the inclusive range of retired guest steps (machine uops
+    or interpreter bytecodes) a thread runs between switch points; each
+    slice's length is drawn fresh from the PRNG.  Small quanta maximize
+    interleaving density (good for chaos), large quanta model coarse
+    preemption.
+    """
+
+    seed: int = 0
+    quantum: tuple[int, int] = (16, 64)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.quantum
+        if lo <= 0 or hi < lo:
+            raise ValueError(f"bad quantum range {self.quantum}")
+
+    def rng(self) -> random.Random:
+        """The schedule's PRNG stream (independent of the fault stream)."""
+        return random.Random(derive_seed(self.seed, "sched"))
+
+    def describe(self) -> str:
+        return f"sched(seed={self.seed}, quantum={self.quantum[0]}..{self.quantum[1]})"
+
+
+class GuestThread:
+    """One guest thread: a host thread cooperatively running guest code."""
+
+    __slots__ = ("tid", "name", "fn", "state", "result", "error",
+                 "steps", "blocked_on", "_event", "_host")
+
+    def __init__(self, tid: int, name: str, fn: Callable) -> None:
+        self.tid = tid
+        self.name = name
+        self.fn = fn
+        #: "new" | "runnable" | "running" | "blocked" | "finished"
+        self.state = "new"
+        self.result = None
+        self.error: BaseException | None = None
+        #: retired guest steps (machine uops / interpreter bytecodes).
+        self.steps = 0
+        self.blocked_on = None
+        self._event = threading.Event()
+        self._host: threading.Thread | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GuestThread {self.tid}:{self.name} {self.state}>"
+
+
+class DeterministicScheduler:
+    """Seeded cooperative scheduler + conflict bus for guest threads.
+
+    Lifecycle: ``spawn`` the threads, then ``run()`` (from the host's main
+    thread) drives them to completion and re-raises the first guest error,
+    or :class:`DeadlockError` when every live thread is parked on a monitor.
+
+    Hooks called *by the running guest thread* (the machine/interpreter):
+
+    - :meth:`on_step` — once per retired uop/bytecode; decrements the
+      current quantum and switches when it expires;
+    - :meth:`block_on` / :meth:`wake_all` — monitor park/unpark (Mesa
+      semantics: woken threads re-contend for the lock);
+    - :meth:`note_store`, :meth:`region_begin`/:meth:`region_end` and
+      :attr:`store_log` — the committed-store log that atomic regions scan
+      for genuine cross-thread conflicts.
+    """
+
+    def __init__(self, plan: SchedulePlan | None = None) -> None:
+        self.plan = plan if plan is not None else SchedulePlan()
+        self._rng = self.plan.rng()
+        self.threads: list[GuestThread] = []
+        self.current: GuestThread | None = None
+        #: (global step count, tid) for every actual context switch.
+        self.trace: list[tuple[int, int]] = []
+        self.context_switches = 0
+        self.contended_acquisitions = 0
+        #: committed/non-speculative stores as (tid, cache line) while any
+        #: atomic region is in flight; cleared when the last region ends.
+        self.store_log: list[tuple[int, int]] = []
+        self.line_shift = DEFAULT_LINE_SHIFT
+        self._inflight: set[int] = set()
+        self._quantum = 0
+        self._steps = 0
+        self._done = threading.Event()
+        self._started = False
+        self._deadlock: DeadlockError | None = None
+        self._finish_order: list[GuestThread] = []
+
+    # -- setup ---------------------------------------------------------------
+    def spawn(self, fn: Callable, name: str | None = None) -> GuestThread:
+        """Register a guest thread running ``fn()`` to completion."""
+        if self._started:
+            raise VMError("cannot spawn after the scheduler has started")
+        tid = len(self.threads)
+        thread = GuestThread(tid, name if name is not None else f"t{tid}", fn)
+        self.threads.append(thread)
+        return thread
+
+    # -- main-thread driver ---------------------------------------------------
+    def run(self) -> list[GuestThread]:
+        """Run every spawned thread to completion; returns them in tid order.
+
+        Re-raises the first guest error (in completion order) after all
+        runnable threads have finished, so the interleaving up to the error
+        is fully recorded in :attr:`trace`.
+        """
+        if self._started:
+            raise VMError("scheduler can only run once")
+        if not self.threads:
+            return []
+        self._started = True
+        for thread in self.threads:
+            thread.state = "runnable"
+            thread._host = threading.Thread(
+                target=self._thread_body, args=(thread,),
+                name=f"guest-{thread.tid}", daemon=True,
+            )
+            thread._host.start()
+        first = self._pick_next()
+        self._quantum = self._rng.randint(*self.plan.quantum)
+        self.current = first
+        first.state = "running"
+        self.trace.append((self._steps, first.tid))
+        first._event.set()
+        self._done.wait()
+        for thread in self._finish_order:
+            if thread.error is not None:
+                raise thread.error
+        if self._deadlock is not None:
+            raise self._deadlock
+        return list(self.threads)
+
+    # -- guest-side hooks -----------------------------------------------------
+    def on_step(self, n: int = 1) -> None:
+        """Account ``n`` retired guest steps; switch when the quantum ends."""
+        me = self.current
+        me.steps += n
+        self._steps += n
+        self._quantum -= n
+        if self._quantum <= 0:
+            self._quantum = self._rng.randint(*self.plan.quantum)
+            nxt = self._pick_next()
+            if nxt is not me:
+                me.state = "runnable"
+                self._hand_over(me, nxt)
+
+    def block_on(self, lock) -> None:
+        """Park the current thread on ``lock.waiters`` and switch away.
+
+        The caller retries ``lock.enter`` after waking (Mesa semantics), so
+        a spurious wake-up is harmless.
+        """
+        me = self.current
+        me.state = "blocked"
+        me.blocked_on = lock
+        lock.waiters.append(me)
+        nxt = self._pick_next()
+        if nxt is None:
+            # Everybody is blocked: no schedule can make progress.  Raise in
+            # the guest thread so the error carries the guest stack; run()
+            # re-raises it after the wind-down.
+            me.state = "runnable"  # keep the dump honest about *why*
+            lock.waiters.remove(me)
+            me.blocked_on = None
+            raise DeadlockError(self._deadlock_dump(me, lock))
+        self._hand_over(me, nxt)
+        me.blocked_on = None
+
+    def wake_all(self, lock) -> None:
+        """Make every thread parked on ``lock`` runnable (they re-contend)."""
+        for waiter in lock.waiters:
+            if waiter.state == "blocked":
+                waiter.state = "runnable"
+        lock.waiters.clear()
+
+    # -- conflict bus ---------------------------------------------------------
+    @property
+    def logging(self) -> bool:
+        """True while any atomic region is in flight (stores must be logged)."""
+        return bool(self._inflight)
+
+    def note_store(self, address: int) -> None:
+        """Log one committed/non-speculative store for conflict detection."""
+        if self._inflight:
+            self.store_log.append((self.current.tid, address >> self.line_shift))
+
+    def note_store_line(self, tid: int, line: int) -> None:
+        """Log an already-line-granular store (region commits)."""
+        if self._inflight:
+            self.store_log.append((tid, line))
+
+    def region_begin(self, tid: int) -> int:
+        """Register an in-flight region; returns its store-log start index."""
+        self._inflight.add(tid)
+        return len(self.store_log)
+
+    def region_end(self, tid: int) -> None:
+        self._inflight.discard(tid)
+        if not self._inflight:
+            self.store_log.clear()
+
+    # -- internals ------------------------------------------------------------
+    def _pick_next(self) -> GuestThread | None:
+        runnable = [t for t in self.threads
+                    if t.state in ("runnable", "running")]
+        if not runnable:
+            return None
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def _hand_over(self, me: GuestThread, nxt: GuestThread) -> None:
+        """Pass the baton: wake ``nxt``, park until re-scheduled."""
+        self.context_switches += 1
+        self.current = nxt
+        nxt.state = "running"
+        self.trace.append((self._steps, nxt.tid))
+        me._event.clear()
+        nxt._event.set()
+        me._event.wait()
+
+    def _thread_body(self, me: GuestThread) -> None:
+        me._event.wait()
+        try:
+            me.result = me.fn()
+        except BaseException as error:  # noqa: BLE001 - recorded, re-raised
+            me.error = error
+        me.state = "finished"
+        self._finish_order.append(me)
+        nxt = self._pick_next()
+        if nxt is not None:
+            self._quantum = self._rng.randint(*self.plan.quantum)
+            self.context_switches += 1
+            self.current = nxt
+            nxt.state = "running"
+            self.trace.append((self._steps, nxt.tid))
+            nxt._event.set()
+            return
+        blocked = [t for t in self.threads if t.state == "blocked"]
+        if blocked and self._deadlock is None:
+            self._deadlock = DeadlockError(self._deadlock_dump(None, None))
+        self.current = None
+        self._done.set()
+
+    def _deadlock_dump(self, me: GuestThread | None, lock) -> str:
+        lines = ["no runnable guest thread remains:"]
+        for thread in self.threads:
+            what = thread.state
+            if thread is me:
+                what = f"about to block on {lock!r}"
+            elif thread.blocked_on is not None:
+                what = f"blocked on a monitor owned by {thread.blocked_on.owner}"
+            lines.append(f"  thread {thread.tid} ({thread.name}): {what}")
+        lines.append(f"  after {self._steps} steps, "
+                     f"{self.context_switches} switches, {self.plan.describe()}")
+        return "\n".join(lines)

@@ -28,6 +28,7 @@ from ..runtime.errors import VMError
 from ..runtime.heap import Heap, Value
 from ..runtime.interpreter import Interpreter
 from ..runtime.profile import ProfileStore
+from ..runtime.sched import DeterministicScheduler, SchedulePlan
 from .compiler import CompilationRecord, CompilerConfig, NO_ATOMIC, compile_method
 
 
@@ -172,6 +173,52 @@ class TieredVM:
             if method.qualified_name == qualified:
                 return method
         raise KeyError(qualified)
+
+    # -- multi-threaded execution ---------------------------------------------
+    def run_threads(
+        self,
+        calls: list,
+        plan: SchedulePlan | None = None,
+    ) -> DeterministicScheduler:
+        """Run several guest calls as concurrently-scheduled guest threads.
+
+        ``calls`` is a list of ``(entry, args)`` or ``(entry, args, name)``
+        tuples; each becomes one guest thread invoking the named static
+        method.  The threads are interleaved by a
+        :class:`DeterministicScheduler` seeded from ``plan`` — at most one
+        runs at any instant, at switch points drawn from the plan's PRNG, so
+        the whole run replays bit-for-bit from the seed.  While attached,
+        the scheduler doubles as the coherence fabric: committed stores are
+        checked against in-flight atomic regions' read/write sets and
+        genuine overlaps abort those regions with reason ``"conflict"``.
+
+        Returns the scheduler: per-thread results/errors are on
+        ``sched.threads`` and the interleaving on ``sched.trace``.  The
+        first guest error (or a :class:`DeadlockError`) is re-raised after
+        the wind-down.  Concurrency counters fold into :attr:`stats`.
+        """
+        sched = DeterministicScheduler(plan)
+        sched.line_shift = self.hw_config.line_shift
+        self.machine.sched = sched
+        self.interpreter.sched = sched
+        try:
+            for index, call in enumerate(calls):
+                entry, args = call[0], call[1]
+                name = call[2] if len(call) > 2 else f"{entry}#{index}"
+                method = self.program.resolve_static(entry)
+                sched.spawn(
+                    lambda m=method, a=list(args): self.invoke(m, list(a)),
+                    name=name,
+                )
+            sched.run()
+        finally:
+            self.machine.sched = None
+            self.interpreter.sched = None
+            self.stats.context_switches += sched.context_switches
+            self.stats.contended_acquisitions += sched.contended_acquisitions
+            for thread in sched.threads:
+                self.stats.uops_by_thread[thread.tid] += thread.steps
+        return sched
 
     # -- measurement protocol ---------------------------------------------------
     def warm_up(self, entry: str, args_list: list[list[Value]]) -> None:

@@ -1,11 +1,14 @@
 """Synthetic DaCapo-shaped benchmarks (paper Table 2)."""
 
-from .base import Sample, Workload
+from .base import Sample, ThreadedWorkload, Workload
 from .dacapo import ALL_WORKLOADS, get_workload, workload_names
+from .hsqldb import THREADED as HSQLDB_THREADED
 
 __all__ = [
     "ALL_WORKLOADS",
+    "HSQLDB_THREADED",
     "Sample",
+    "ThreadedWorkload",
     "Workload",
     "get_workload",
     "workload_names",

@@ -53,6 +53,43 @@ class Workload:
         return sum(s.weight for s in self.samples)
 
 
+@dataclass
+class ThreadedWorkload:
+    """A workload run as N concurrent guest threads over shared state.
+
+    The paper's benchmarks are measured single-threaded (Table 2 samples),
+    but the atomicity guarantee under test is a multi-thread property; the
+    concurrency harness (:func:`repro.harness.run_concurrency_chaos`) runs
+    these under the deterministic scheduler and checks every seeded
+    interleaving against serial-order executions.
+
+    ``setup`` names a static method that allocates and returns the shared
+    state object; ``worker`` a static method whose first parameter receives
+    it.  One guest thread is spawned per entry of ``thread_args`` (the
+    remaining worker arguments).  Per-thread worker *results* must be
+    schedule-independent by construction (workers partition their key
+    ranges); the shared state is where interleavings collide, and its final
+    fingerprint is the serializability signal.
+    """
+
+    name: str
+    description: str
+    build: Callable[[], Program]
+    #: static method allocating the shared state; invoked once per run.
+    setup: str
+    #: static method each guest thread runs: ``worker(shared, *extra)``.
+    worker: str
+    #: one extra-argument list per guest thread.
+    thread_args: list[list]
+    #: worker argument lists used (each against a fresh setup object) to
+    #: warm profiles before compilation.
+    warm_args: list[list] = field(default_factory=list)
+
+    @property
+    def threads(self) -> int:
+        return len(self.thread_args)
+
+
 def checksum_method(pb, fields=()):
     """Helper used by several workloads: a tiny pure static method that the
     inliner happily inlines, modeling small leaf classlib calls."""

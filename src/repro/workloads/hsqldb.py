@@ -20,12 +20,12 @@ Published targets: coverage 76%, region size ~88 uops, abort 2.74%.
 from __future__ import annotations
 
 from ..lang.builder import ProgramBuilder
-from .base import Sample, Workload
+from .base import Sample, ThreadedWorkload, Workload
 
 BUCKETS = 4096
 
 
-def build():
+def build(threads: int = 1):
     pb = ProgramBuilder()
     pb.cls("Table", fields=["keys", "values", "count", "probes", "checksum"])
 
@@ -146,7 +146,62 @@ def build():
     a2 = w.add(acc, cnt)
     out = w.add(a2, pm)
     w.ret(out)
+    # threads=1 (the default) emits exactly the single-threaded program, so
+    # every Table 2/3 and Figure 7 number is untouched; the N-worker driver
+    # methods exist only when a multi-threaded build is requested.
+    if threads > 1:
+        _emit_threaded(pb)
     return pb.build()
+
+
+def _emit_threaded(pb: ProgramBuilder) -> None:
+    """JDBCbench-style N-worker driver: shared table, partitioned keys.
+
+    ``setup`` allocates the shared table; each guest thread runs ``worker``
+    over its own key range (``offset .. offset+n``), so per-thread results
+    are schedule-independent by construction while every transaction's
+    ``insert`` still does a read-modify-write of the shared ``count`` field
+    — the classic lost-update site the serializability oracle watches, and
+    (since the Table header fields share cache lines) a dense source of
+    *genuine* cross-thread region conflicts.
+    """
+    s = pb.method("setup", params=())
+    table = s.new("Table")
+    nb = s.const(BUCKETS)
+    karr = s.newarr(nb)
+    varr = s.newarr(nb)
+    s.putfield(table, "keys", karr)
+    s.putfield(table, "values", varr)
+    s.ret(table)
+
+    w = pb.method("worker", params=("table", "n", "offset"))
+    table, n, offset = w.param(0), w.param(1), w.param(2)
+    state = w.const(54321)
+    acc = w.const(0)
+    i = w.const(0)
+    one = w.const(1)
+    w.label("txn")
+    w.safepoint()
+    w.br("ge", i, n, "done")
+    m1 = w.const(1103515245)
+    m2 = w.const(12345)
+    s1 = w.mul(state, m1)
+    s2 = w.add(s1, m2)
+    maskc = w.const((1 << 31) - 1)
+    w.and_(s2, maskc, dst=state)
+    key = w.add(offset, i)
+    # insert + read-back + update, all within this worker's key range.
+    w.vcall(table, "insert", (key, state))
+    r1 = w.vcall(table, "lookup", (key,))
+    delta = w.and_(r1, w.const(255))
+    r3 = w.vcall(table, "update", (key, delta))
+    t1 = w.add(acc, r1)
+    t2 = w.xor(t1, r3)
+    w.mov(t2, dst=acc)
+    w.add(i, one, dst=i)
+    w.jmp("txn")
+    w.label("done")
+    w.ret(acc)
 
 
 WORKLOAD = Workload(
@@ -163,4 +218,16 @@ WORKLOAD = Workload(
     paper_region_size=88,
     paper_abort_pct=2.74,
     paper_speedup_aggressive=56.0,
+)
+
+#: two JDBCbench workers sharing one table, key ranges a cache-line-dense
+#: ``count`` field apart — the concurrency-chaos target.
+THREADED = ThreadedWorkload(
+    name="hsqldb-mt",
+    description="JDBCbench driver with concurrent workers on one table",
+    build=lambda: build(threads=2),
+    setup="setup",
+    worker="worker",
+    thread_args=[[60, 0], [60, 1024]],
+    warm_args=[[40, 0]] * 3,
 )
