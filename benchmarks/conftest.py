@@ -7,6 +7,10 @@ for them once per pytest session.
 
 import pytest
 
+from repro.testutil.hypo import register_hypothesis_profiles
+
+register_hypothesis_profiles()
+
 
 @pytest.fixture
 def once(benchmark):

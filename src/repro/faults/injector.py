@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs.tracer import NULL_TRACER
 from .plan import FaultEvent, FaultPlan
 
 
@@ -66,6 +67,11 @@ class FaultInjector:
         self.plan = plan if plan is not None else FaultPlan()
         #: legacy hook: callable(RegionExecution) -> conflict uop offset.
         self.conflict_callback = conflict_callback
+        #: observability: the owning machine points these at its tracer and
+        #: retired-uop counter, so armed faults and delivered interrupts
+        #: appear on the same timeline as the regions they perturb.
+        self.tracer = NULL_TRACER
+        self.clock = lambda: 0
         self.regions_seen = 0
         #: kind -> number of times a fault of that kind was armed.
         self.scheduled = Counter()
@@ -139,6 +145,21 @@ class FaultInjector:
             if offset is not None:
                 sched.conflict_at = _min_opt(sched.conflict_at, offset)
                 self.scheduled["conflict"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            ts = self.clock()
+            if sched.conflict_at is not None:
+                tracer.fault_armed(ts, 0, "conflict", index,
+                                   offset=sched.conflict_at)
+            if sched.assert_at is not None:
+                tracer.fault_armed(ts, 0, "assert", index,
+                                   offset=sched.assert_at)
+            if sched.exception_at is not None:
+                tracer.fault_armed(ts, 0, "exception", index,
+                                   offset=sched.exception_at)
+            if sched.line_limit is not None:
+                tracer.fault_armed(ts, 0, "overflow", index,
+                                   line_limit=sched.line_limit)
         return sched
 
     def take_interrupt(self, uops_executed: int) -> bool:
@@ -153,6 +174,8 @@ class FaultInjector:
                 and uops_executed >= self._interrupt_thresholds[-1]):
             self._interrupt_thresholds.pop()
             self.interrupts_delivered += 1
+            if self.tracer.enabled:
+                self.tracer.interrupt(uops_executed)
             return True
         if (self._next_interrupt_at is not None
                 and uops_executed >= self._next_interrupt_at):
@@ -165,5 +188,7 @@ class FaultInjector:
                     uops_executed + self._rng.randint(*self.plan.interrupt_gap)
                 )
             self.interrupts_delivered += 1
+            if self.tracer.enabled:
+                self.tracer.interrupt(uops_executed)
             return True
         return False

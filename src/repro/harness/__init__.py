@@ -28,7 +28,7 @@ from .figures import (
     table2,
     table3,
 )
-from .report import render, render_all, render_concurrency
+from .report import render, render_all, render_concurrency, render_timeline
 
 __all__ = [
     "BENCH_ORDER",
@@ -47,6 +47,7 @@ __all__ = [
     "render",
     "render_all",
     "render_concurrency",
+    "render_timeline",
     "run_chaos",
     "run_concurrency_chaos",
     "run_workload",

@@ -26,16 +26,24 @@ The checker then asserts, per sample:
 - every monitor on the faulted heap ends quiescent (lock-state restoration);
 - forced abort storms terminated through the retry-budget fallback rather
   than looping (``region_fallbacks`` whenever a storm plan is used).
+
+Every faulted/threaded run records a region-lifecycle trace
+(:mod:`repro.obs`); when a check fails, the trace is dumped as Chrome
+trace-event JSON next to the seed (``CHAOS_TRACE_DIR``, default the
+current directory), so the failing interleaving is diagnosable offline
+without re-running under a debugger.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 
 from ..faults import FaultInjector, FaultPlan
 from ..hw.config import BASELINE_4WIDE, HardwareConfig
 from ..hw.stats import ExecStats
+from ..obs import Tracer, dump_chrome_trace
 from ..runtime.interpreter import Interpreter
 from ..runtime.sched import SchedulePlan
 from ..vm.compiler import CompilerConfig
@@ -58,6 +66,8 @@ class ChaosCheck:
     faults_scheduled: dict = field(default_factory=dict)
     faulted_results: list = field(default_factory=list)
     expected_results: list = field(default_factory=list)
+    #: Chrome trace-event JSON dumped for failing checks (else None).
+    trace_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -68,13 +78,16 @@ class ChaosCheck:
     def describe(self) -> str:
         status = "ok" if self.ok else "FAILED"
         aborted = self.stats.regions_aborted
-        return (
+        out = (
             f"{self.workload}[sample {self.sample_index}] seed={self.seed}: "
             f"{status} ({aborted} aborts, "
             f"faults={dict(self.faults_scheduled) or 'none'}, "
             f"retries={self.stats.conflict_retries}, "
             f"fallbacks={sum(self.stats.region_fallbacks.values())})"
         )
+        if self.trace_path is not None:
+            out += f"\n  trace dumped to {self.trace_path}"
+        return out
 
 
 @dataclass
@@ -120,6 +133,7 @@ def _run_machine(
     compiler_config: CompilerConfig,
     hw_config: HardwareConfig,
     fault_plan: FaultPlan | None,
+    tracer: Tracer | None = None,
 ):
     """One VM execution of a sample; returns (results, stats, vm)."""
     program = workload.build()
@@ -129,6 +143,7 @@ def _run_machine(
         hw_config=hw_config,
         options=VMOptions(enable_timing=False, compile_threshold=3),
         fault_plan=fault_plan,
+        tracer=tracer,
     )
     vm.warm_up(workload.entry, [list(a) for a in sample.warm_args])
     vm.compile_hot(min_invocations=1)
@@ -149,6 +164,13 @@ def _interpreter_reference(workload: Workload, sample):
     return results, interp.heap
 
 
+def _resolve_trace_dir(trace_dir: str | None) -> str:
+    """Failure dumps land here: explicit arg, else $CHAOS_TRACE_DIR, else cwd."""
+    if trace_dir is not None:
+        return trace_dir
+    return os.environ.get("CHAOS_TRACE_DIR", ".")
+
+
 def run_chaos(
     workload: Workload,
     compiler_config: CompilerConfig,
@@ -156,12 +178,18 @@ def run_chaos(
     hw_config: HardwareConfig = BASELINE_4WIDE,
     plan_factory=None,
     max_samples: int | None = None,
+    trace_dir: str | None = None,
+    trace_capacity: int = 1 << 16,
 ) -> ChaosReport:
     """Differential sweep: every sample × every seed, three-way compared.
 
     ``plan_factory`` maps a seed to a :class:`FaultPlan`; the default is
     :meth:`FaultPlan.seeded` with the standard chaos rates.  Pass e.g.
     ``lambda seed: FaultPlan.storm("conflict")`` for adversarial schedules.
+
+    Every faulted run is traced; a failing check dumps its Chrome trace
+    next to the seed (see :func:`_resolve_trace_dir`) and records the path
+    on the check.
     """
     if plan_factory is None:
         plan_factory = lambda seed: FaultPlan.seeded(seed)  # noqa: E731
@@ -177,12 +205,13 @@ def run_chaos(
         clean_fp = clean_vm.heap.fingerprint()
         for seed in seeds:
             plan = plan_factory(seed)
+            tracer = Tracer(capacity=trace_capacity)
             results, stats, vm = _run_machine(
-                workload, sample, compiler_config, hw_config, plan,
+                workload, sample, compiler_config, hw_config, plan, tracer,
             )
             faulted_fp = vm.heap.fingerprint()
             injector = vm.fault_injector
-            report.checks.append(ChaosCheck(
+            check = ChaosCheck(
                 workload=workload.name,
                 seed=seed,
                 sample_index=index,
@@ -198,7 +227,18 @@ def run_chaos(
                 ),
                 faulted_results=results,
                 expected_results=expected,
-            ))
+            )
+            if not check.ok:
+                check.trace_path = dump_chrome_trace(
+                    tracer.events,
+                    os.path.join(
+                        _resolve_trace_dir(trace_dir),
+                        f"chaos-{workload.name}-seed{seed}"
+                        f"-sample{index}.trace.json",
+                    ),
+                    truncated=tracer.truncated,
+                )
+            report.checks.append(check)
     return report
 
 
@@ -231,6 +271,8 @@ class ConcurrencyCheck:
     trace: list = field(default_factory=list)
     threaded_results: list = field(default_factory=list)
     violation: str | None = None
+    #: Chrome trace-event JSON dumped for failing checks (else None).
+    trace_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -249,6 +291,8 @@ class ConcurrencyCheck:
         )
         if self.violation is not None:
             out += "\n" + self.violation
+        if self.trace_path is not None:
+            out += f"\n  trace dumped to {self.trace_path}"
         return out
 
 
@@ -285,6 +329,7 @@ def _threaded_vm(
     workload: ThreadedWorkload,
     compiler_config: CompilerConfig,
     hw_config: HardwareConfig,
+    tracer: Tracer | None = None,
 ) -> TieredVM:
     """Fresh VM with profiles warmed and hot methods compiled."""
     vm = TieredVM(
@@ -292,6 +337,7 @@ def _threaded_vm(
         compiler_config=compiler_config,
         hw_config=hw_config,
         options=VMOptions(enable_timing=False, compile_threshold=3),
+        tracer=tracer,
     )
     for args in workload.warm_args:
         shared = vm.run(workload.setup)
@@ -305,9 +351,10 @@ def _threaded_run(
     compiler_config: CompilerConfig,
     hw_config: HardwareConfig,
     plan: SchedulePlan,
+    tracer: Tracer | None = None,
 ):
     """One scheduled N-thread execution; returns (results, fp, stats, sched, vm)."""
-    vm = _threaded_vm(workload, compiler_config, hw_config)
+    vm = _threaded_vm(workload, compiler_config, hw_config, tracer)
     shared = vm.run(workload.setup)
     vm.start_measurement()
     sched = vm.run_threads(
@@ -387,15 +434,19 @@ def run_concurrency_chaos(
     seeds=(0, 1, 2),
     hw_config: HardwareConfig = BASELINE_4WIDE,
     quantum: tuple[int, int] = (8, 32),
+    trace_dir: str | None = None,
+    trace_capacity: int = 1 << 16,
 ) -> ConcurrencyReport:
     """Serializability sweep: every seeded schedule vs. every serial order.
 
     For each seed the workload's workers run under the deterministic
-    scheduler (twice — the second run checks bit-for-bit replay), and the
-    outcome is compared against all ``threads!`` serial-order executions on
-    both the compiled machine and the tier-0 interpreter.  Any schedule
-    whose committed results/heap match no serial order is an atomicity
-    violation and is reported with its interleaving and region counters.
+    scheduler (twice — the second run checks bit-for-bit replay, including
+    the recorded event stream), and the outcome is compared against all
+    ``threads!`` serial-order executions on both the compiled machine and
+    the tier-0 interpreter.  Any schedule whose committed results/heap
+    match no serial order is an atomicity violation and is reported with
+    its interleaving and region counters; failing checks also dump the
+    Chrome trace of the offending schedule next to the seed.
     """
     orders = list(itertools.permutations(range(workload.threads)))
     serial_m = {
@@ -409,15 +460,18 @@ def run_concurrency_chaos(
     report = ConcurrencyReport()
     for seed in seeds:
         plan = SchedulePlan(seed=seed, quantum=quantum)
+        tracer = Tracer(capacity=trace_capacity)
+        replay_tracer = Tracer(capacity=trace_capacity)
         results, fp, stats, sched, vm = _threaded_run(
-            workload, compiler_config, hw_config, plan,
+            workload, compiler_config, hw_config, plan, tracer,
         )
         r_results, r_fp, _r_stats, r_sched, _r_vm = _threaded_run(
-            workload, compiler_config, hw_config, plan,
+            workload, compiler_config, hw_config, plan, replay_tracer,
         )
         replay_identical = (
             results == r_results and fp == r_fp
             and sched.trace == r_sched.trace
+            and tracer.events == replay_tracer.events
         )
         match = None
         for order in orders:
@@ -431,7 +485,7 @@ def run_concurrency_chaos(
             violation = _violation_report(
                 workload, sched, stats, results, serial_m,
             )
-        report.checks.append(ConcurrencyCheck(
+        check = ConcurrencyCheck(
             workload=workload.name,
             seed=seed,
             threads=workload.threads,
@@ -446,5 +500,15 @@ def run_concurrency_chaos(
             trace=list(sched.trace),
             threaded_results=results,
             violation=violation,
-        ))
+        )
+        if not check.ok:
+            check.trace_path = dump_chrome_trace(
+                tracer.events,
+                os.path.join(
+                    _resolve_trace_dir(trace_dir),
+                    f"concurrency-{workload.name}-seed{seed}.trace.json",
+                ),
+                truncated=tracer.truncated,
+            )
+        report.checks.append(check)
     return report

@@ -119,10 +119,18 @@ def run_workload(
     interrupt_interval: int | None = None,
     fault_plan: FaultPlan | None = None,
     use_cache: bool = True,
+    tracer=None,
 ) -> RunResult:
-    """Run every sample of ``workload`` under the given configuration."""
+    """Run every sample of ``workload`` under the given configuration.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records region-lifecycle
+    events across all samples; traced runs bypass the cache so a stateful
+    tracer never leaks into (or out of) memoized results.
+    """
     if fault_plan is not None and interrupt_interval is not None:
         raise ValueError("fault_plan subsumes interrupt_interval; pick one")
+    if tracer is not None:
+        use_cache = False
     key = (
         workload.name, compiler_config.name, hw_config.name, timing,
         force_monomorphic, adaptive, interrupt_interval, fault_plan,
@@ -155,6 +163,7 @@ def run_workload(
                 interrupt_interval=interrupt_interval,
             ),
             fault_plan=fault_plan,
+            tracer=tracer,
         )
         vm.warm_up(workload.entry, [list(a) for a in sample.warm_args])
         vm.compile_hot(min_invocations=1)

@@ -1,30 +1,60 @@
-"""Plain-text rendering of figure/table data."""
+"""Plain-text rendering of figure/table data and event timelines."""
 
 from __future__ import annotations
 
 from .figures import FigureData
 
 
+def _format_cell(value, width: int) -> str:
+    """Right-align one table cell; floats get the figures' 2-decimal form."""
+    if isinstance(value, float):
+        return f"{value:>{width}.2f}"
+    return f"{value!s:>{width}}"
+
+
+def _aligned_table(
+    first_header: str,
+    first_width: int,
+    columns: list[str],
+    rows: list[tuple[str, list]],
+    min_width: int = 10,
+    trailer_header: str | None = None,
+    trailers: list[str] | None = None,
+) -> list[str]:
+    """The shared bar/table renderer: a left-aligned label column plus
+    right-aligned value columns sized to their headers.
+
+    Every tabular report (figures, concurrency sweeps) routes through this
+    one formatter so alignment rules live in exactly one place.
+    ``trailer_header``/``trailers`` append one free-form left-aligned
+    column (e.g. per-thread uop lists) after the aligned cells.
+    """
+    widths = [max(min_width, len(col) + 2) for col in columns]
+    header = f"{first_header:<{first_width}s}" + "".join(
+        f"{col:>{width}s}" for col, width in zip(columns, widths)
+    )
+    if trailer_header is not None:
+        header += f"  {trailer_header}"
+    lines = [header]
+    for index, (label, cells) in enumerate(rows):
+        line = f"{label:<{first_width}s}" + "".join(
+            _format_cell(cell, width) for cell, width in zip(cells, widths)
+        )
+        if trailers is not None:
+            line += f"  {trailers[index]}"
+        lines.append(line)
+    return lines
+
+
 def render(data: FigureData, width: int = 10) -> str:
     """Render one figure as an aligned text table."""
     lines = [data.title, "-" * len(data.title)]
-    header = f"{'bench':10s}" + "".join(
-        f"{col:>{max(width, len(col) + 2)}s}" for col in data.columns
-    )
-    lines.append(header)
-    for bench, values in data.rows.items():
-        cells = "".join(
-            f"{value:>{max(width, len(col) + 2)}.2f}"
-            for value, col in zip(values, data.columns)
-        )
-        lines.append(f"{bench:10s}" + cells)
+    rows = [(bench, values) for bench, values in data.rows.items()]
     averages = data.averages()
     if averages and len(data.rows) > 1:
-        cells = "".join(
-            f"{value:>{max(width, len(col) + 2)}.2f}"
-            for value, col in zip(averages, data.columns)
-        )
-        lines.append(f"{'average':10s}" + cells)
+        rows.append(("average", averages))
+    lines.extend(_aligned_table("bench", 10, data.columns, rows,
+                                min_width=width))
     for note in data.notes:
         lines.append(f"  note: {note}")
     return "\n".join(lines)
@@ -38,26 +68,27 @@ def render_concurrency(report) -> str:
     """Render a :class:`~repro.harness.chaos.ConcurrencyReport` with the
     per-schedule concurrency counters (real vs. injected conflict aborts,
     contended acquisitions, context switches, per-thread retired uops)."""
-    header = (
-        f"{'schedule':24s}{'ok':>5s}{'serial':>10s}{'switch':>8s}"
-        f"{'real':>6s}{'inj':>6s}{'cont':>6s}  per-thread uops"
-    )
-    lines = ["serializability sweep", "-" * len(header), header]
+    columns = ["ok", "serial", "switch", "real", "inj", "cont"]
+    rows = []
+    trailers = []
     for check in report.checks:
         stats = check.stats
-        per_thread = " ".join(
-            f"t{tid}:{uops}" for tid, uops in sorted(stats.uops_by_thread.items())
-        )
         order = ("".join(map(str, check.serial_order))
                  if check.serial_order is not None else "NONE")
-        lines.append(
-            f"{check.workload + ' seed=' + str(check.seed):24s}"
-            f"{'ok' if check.ok else 'FAIL':>5s}{order:>10s}"
-            f"{stats.context_switches:>8d}"
-            f"{stats.real_conflict_aborts:>6d}"
-            f"{stats.injected_conflict_aborts:>6d}"
-            f"{stats.contended_acquisitions:>6d}  {per_thread}"
-        )
+        rows.append((
+            f"{check.workload} seed={check.seed}",
+            ["ok" if check.ok else "FAIL", order, stats.context_switches,
+             stats.real_conflict_aborts, stats.injected_conflict_aborts,
+             stats.contended_acquisitions],
+        ))
+        trailers.append(" ".join(
+            f"t{tid}:{uops}" for tid, uops in sorted(stats.uops_by_thread.items())
+        ))
+    body = _aligned_table(
+        "schedule", 24, columns, rows, min_width=6,
+        trailer_header="per-thread uops", trailers=trailers,
+    )
+    lines = ["serializability sweep", "-" * len(body[0])] + body
     failures = report.failures()
     lines.append(
         f"{len(report.checks)} schedules, {len(failures)} failure(s)"
@@ -65,4 +96,33 @@ def render_concurrency(report) -> str:
     for check in failures:
         if check.violation is not None:
             lines.append(check.violation)
+        if check.trace_path is not None:
+            lines.append(f"  trace dumped to {check.trace_path}")
+    return "\n".join(lines)
+
+
+def render_timeline(events, limit: int | None = None,
+                    title: str = "region-lifecycle timeline") -> str:
+    """Render a list of :class:`~repro.obs.TraceEvent` as a text timeline.
+
+    One line per event — deterministic timestamp, thread, kind, and the
+    typed arguments — so a failing chaos seed's interleaving reads top to
+    bottom without loading the Chrome dump into a viewer.  ``limit`` keeps
+    only the last N events (where failures live).
+    """
+    shown = list(events)
+    dropped = 0
+    if limit is not None and len(shown) > limit:
+        dropped = len(shown) - limit
+        shown = shown[-limit:]
+    lines = [title, "-" * len(title),
+             f"{'ts':>10s} {'tid':>4s}  {'event':<18s} detail"]
+    if dropped:
+        lines.append(f"{'...':>10s} {'':>4s}  ({dropped} earlier events omitted)")
+    for event in shown:
+        detail = " ".join(f"{key}={value}" for key, value in event.args)
+        lines.append(
+            f"{event.ts:>10d} {event.tid:>4d}  {event.kind:<18s} {detail}".rstrip()
+        )
+    lines.append(f"{len(events)} event(s)")
     return "\n".join(lines)

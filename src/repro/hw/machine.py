@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..faults.injector import FaultInjector, RegionFaultSchedule
+from ..obs.tracer import NULL_TRACER
 from ..runtime.errors import (
     BoundsError,
     GuestArithmeticError,
@@ -105,6 +106,7 @@ class Machine:
         conflict_injector: Callable[[RegionExecution], int | None] | None = None,
         interrupt_interval: int | None = None,
         fault_injector: FaultInjector | None = None,
+        tracer=None,
     ) -> None:
         self.program = program
         self.heap = heap
@@ -112,6 +114,9 @@ class Machine:
         self.stats = stats if stats is not None else ExecStats()
         self.timing = timing
         self.dispatcher = dispatcher
+        #: region-lifecycle tracer; the null tracer costs one attribute
+        #: check per emission site and records nothing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Back-compat shims: the old ad-hoc hooks fold into one injector.
         if fault_injector is not None and (
             conflict_injector is not None or interrupt_interval is not None
@@ -127,6 +132,11 @@ class Machine:
                 conflict_injector, interrupt_interval
             )
         self.fault_injector = fault_injector
+        if fault_injector is not None:
+            # The injector emits fault_armed/interrupt events on this
+            # machine's tracer, timestamped by its retired-uop counter.
+            fault_injector.tracer = self.tracer
+            fault_injector.clock = lambda: self.uops_executed
         self.conflict_injector = conflict_injector
         self.interrupt_interval = interrupt_interval
         #: deterministic guest scheduler (attached by TieredVM.run_threads);
@@ -400,6 +410,11 @@ class Machine:
                         # Patched to permanent non-speculative fallback:
                         # jump straight to the alternate PC.
                         stats.regions_suppressed += 1
+                        if self.tracer.enabled:
+                            self.tracer.region_suppressed(
+                                self.uops_executed, tid, compiled.name,
+                                instr.imm,
+                            )
                         self._tick(instr, mem_address, timing)
                         pc = instr.target
                         continue
@@ -529,6 +544,11 @@ class Machine:
         )
         if self.sched is not None:
             region.log_index = self.sched.region_begin(tid)
+        if self.tracer.enabled:
+            self.tracer.region_enter(
+                self.uops_executed, tid, compiled.name, instr.imm,
+                self._code_bases[id(compiled)] + pc,
+            )
         if self.fault_injector is not None:
             region.faults = self.fault_injector.schedule_region(record)
             region.conflict_at = region.faults.conflict_at
@@ -617,6 +637,12 @@ class Machine:
         record.lines_read = len(region.read_lines)
         record.lines_written = len(region.write_lines)
         self.stats.note_region(record)
+        if self.tracer.enabled:
+            self.tracer.region_commit(
+                self.uops_executed, region.owner_tid,
+                record.region_key[0], region.region_id, record.uops,
+                record.lines_read, record.lines_written,
+            )
         # Forward progress: a commit ends any abort streak for this region.
         key = region.progress_key
         if self._abort_streak.get(key):
@@ -676,6 +702,13 @@ class Machine:
         record.abort_reason = reason
         record.abort_pc = abort_pc
         self.stats.note_region(record)
+        if self.tracer.enabled:
+            self.tracer.region_abort(
+                self.uops_executed, region.owner_tid,
+                record.region_key[0], region.region_id, reason, abort_pc,
+                record.uops, len(region.read_lines),
+                len(region.write_lines),
+            )
         sched = self.sched
         if sched is not None:
             sched.region_end(region.owner_tid)
@@ -723,6 +756,12 @@ class Machine:
                 self.stats.backoff_cycles += backoff
                 if self.timing is not None:
                     self.timing.stall(backoff)
+                if self.tracer.enabled:
+                    self.tracer.region_retry(
+                        self.uops_executed, region.owner_tid,
+                        record.region_key[0], region.region_id, attempt,
+                        backoff,
+                    )
                 return region.begin_pc
         self._conflict_retries[key] = 0
         streak = self._abort_streak[key] + 1
@@ -732,6 +771,11 @@ class Machine:
             compiled.disabled_regions.add(region.region_id)
             self._abort_streak[key] = 0
             self.stats.note_fallback(record.region_key)
+            if self.tracer.enabled:
+                self.tracer.region_fallback(
+                    self.uops_executed, region.owner_tid,
+                    record.region_key[0], region.region_id,
+                )
         return region.alt_pc
 
 

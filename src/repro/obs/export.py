@@ -1,0 +1,145 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto-loadable).
+
+The Chrome trace-event format is the lingua franca of timeline viewers
+(``chrome://tracing``, https://ui.perfetto.dev): a ``traceEvents`` list of
+dicts, each with a ``name``, a phase ``ph`` (``"B"`` begin / ``"E"`` end /
+``"i"`` instant), a microsecond timestamp ``ts``, and ``pid``/``tid``
+identifiers.  We map the deterministic uop/step timestamps directly onto
+``ts``: one retired uop = one "microsecond", so durations in the viewer
+read as retired-uop counts.
+
+Region lifecycles become ``B``/``E`` slice pairs (the ``E`` carries the
+outcome — ``commit`` or the abort reason — in ``args``); everything else
+(context switches, fault arming, tier transitions, retries/fallbacks) is
+an instant event on its thread's track.  :func:`validate_chrome_trace` is
+the schema contract the exporter tests (and chaos-failure dumps) check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .tracer import EVENT_KINDS, TraceEvent
+
+#: phases for non-region event kinds (all instants on the thread track).
+_INSTANT_SCOPE = "t"
+
+#: fields every exported event must carry.
+REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid", "cat", "args")
+
+#: phases the exporter emits (and the validator accepts).
+ALLOWED_PHASES = ("B", "E", "i")
+
+
+def _region_name(event: TraceEvent) -> str:
+    return f"{event.arg('method')}#r{event.arg('region')}"
+
+
+def to_chrome_trace(events, pid: int = 0, truncated: bool = False) -> dict:
+    """Render a list of :class:`TraceEvent` as a Chrome trace document."""
+    trace_events = []
+    for event in events:
+        args = dict(event.args)
+        entry = {
+            "pid": pid,
+            "tid": event.tid,
+            "ts": event.ts,
+            "cat": event.kind,
+            "args": args,
+        }
+        if event.kind == "region_enter":
+            entry["ph"] = "B"
+            entry["name"] = _region_name(event)
+        elif event.kind == "region_commit":
+            entry["ph"] = "E"
+            entry["name"] = _region_name(event)
+            entry["args"]["outcome"] = "commit"
+        elif event.kind == "region_abort":
+            entry["ph"] = "E"
+            entry["name"] = _region_name(event)
+            entry["args"]["outcome"] = "abort"
+        else:
+            entry["ph"] = "i"
+            entry["s"] = _INSTANT_SCOPE
+            entry["name"] = event.kind
+        # Chrome requires JSON-safe arg values; tuples become lists there
+        # anyway, so normalize eagerly for a stable on-disk form.
+        entry["args"] = {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in entry["args"].items()
+        }
+        trace_events.append(entry)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": "retired-uops",
+            "truncated": bool(truncated),
+        },
+    }
+
+
+def dump_chrome_trace(events, path: str, pid: int = 0,
+                      truncated: bool = False) -> str:
+    """Write the Chrome trace for ``events`` to ``path``; returns ``path``."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    document = to_chrome_trace(events, pid=pid, truncated=truncated)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(document: dict) -> None:
+    """Raise ``ValueError`` unless ``document`` satisfies the export schema.
+
+    Checks structure (required fields, types, known phases/categories) and
+    — for untruncated traces — that ``B``/``E`` slice events balance per
+    thread track, so every region enter has its commit/abort pair.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a dict")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document needs a traceEvents list")
+    depth: dict[tuple[int, int], int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not a dict")
+        for fieldname in REQUIRED_FIELDS:
+            if fieldname not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] missing {fieldname!r}: {event}"
+                )
+        if event["ph"] not in ALLOWED_PHASES:
+            raise ValueError(
+                f"traceEvents[{index}] has unknown phase {event['ph']!r}"
+            )
+        if not isinstance(event["ts"], int) or event["ts"] < 0:
+            raise ValueError(
+                f"traceEvents[{index}] ts must be a non-negative int"
+            )
+        if not isinstance(event["pid"], int) or not isinstance(event["tid"], int):
+            raise ValueError(f"traceEvents[{index}] pid/tid must be ints")
+        if event["cat"] not in EVENT_KINDS:
+            raise ValueError(
+                f"traceEvents[{index}] has unknown category {event['cat']!r}"
+            )
+        if not isinstance(event["args"], dict):
+            raise ValueError(f"traceEvents[{index}] args must be a dict")
+        track = (event["pid"], event["tid"])
+        if event["ph"] == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif event["ph"] == "E":
+            depth[track] = depth.get(track, 0) - 1
+    truncated = bool(document.get("otherData", {}).get("truncated"))
+    if not truncated:
+        for track, balance in depth.items():
+            if balance != 0:
+                raise ValueError(
+                    f"unbalanced B/E slices on pid/tid {track}: {balance:+d}"
+                )

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..faults.plan import derive_seed
+from ..obs.tracer import NULL_TRACER
 from .errors import DeadlockError, VMError
 
 #: default 64-byte cache lines (the machine overrides from its config).
@@ -122,6 +123,9 @@ class DeterministicScheduler:
         #: atomic region is in flight; cleared when the last region ends.
         self.store_log: list[tuple[int, int]] = []
         self.line_shift = DEFAULT_LINE_SHIFT
+        #: lifecycle tracer (attached by TieredVM.run_threads); emits one
+        #: ctx_switch event per entry appended to :attr:`trace`.
+        self.tracer = NULL_TRACER
         self._inflight: set[int] = set()
         self._quantum = 0
         self._steps = 0
@@ -165,6 +169,8 @@ class DeterministicScheduler:
         self.current = first
         first.state = "running"
         self.trace.append((self._steps, first.tid))
+        if self.tracer.enabled:
+            self.tracer.ctx_switch(self._steps, first.tid, from_tid=-1)
         first._event.set()
         self._done.wait()
         for thread in self._finish_order:
@@ -257,6 +263,8 @@ class DeterministicScheduler:
         self.current = nxt
         nxt.state = "running"
         self.trace.append((self._steps, nxt.tid))
+        if self.tracer.enabled:
+            self.tracer.ctx_switch(self._steps, nxt.tid, from_tid=me.tid)
         me._event.clear()
         nxt._event.set()
         me._event.wait()
@@ -276,6 +284,8 @@ class DeterministicScheduler:
             self.current = nxt
             nxt.state = "running"
             self.trace.append((self._steps, nxt.tid))
+            if self.tracer.enabled:
+                self.tracer.ctx_switch(self._steps, nxt.tid, from_tid=me.tid)
             nxt._event.set()
             return
         blocked = [t for t in self.threads if t.state == "blocked"]

@@ -8,6 +8,7 @@ from .diff import (
     profiled,
 )
 from .genprog import GenConfig, ProgramGenerator, random_program
+from .hypo import register_hypothesis_profiles
 
 __all__ = [
     "GenConfig",
@@ -18,4 +19,5 @@ __all__ = [
     "outcome_ir",
     "profiled",
     "random_program",
+    "register_hypothesis_profiles",
 ]

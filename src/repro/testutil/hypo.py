@@ -1,0 +1,34 @@
+"""Hypothesis settings profiles shared by the test and benchmark suites.
+
+CI machines run the property suites under a bounded, derandomized profile
+so the tier-1 wall-clock stays predictable and a red run is reproducible
+from the log alone; local development gets a wider sweep.  Hypothesis is
+an optional dependency — environments without it simply skip registration
+(the property tests themselves then fail at import, which is the signal
+to install it, but nothing else in the suite is affected).
+
+Select explicitly with ``HYPOTHESIS_PROFILE=ci|dev``; otherwise the ``CI``
+environment variable picks ``ci`` and everything else defaults to ``dev``.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def register_hypothesis_profiles() -> str | None:
+    """Register and load the ``ci``/``dev`` profiles; returns the loaded
+    profile name, or None when hypothesis is not installed."""
+    try:
+        from hypothesis import settings
+    except ImportError:
+        return None
+    settings.register_profile(
+        "ci", max_examples=25, deadline=None, derandomize=True,
+    )
+    settings.register_profile("dev", max_examples=100, deadline=None)
+    profile = os.environ.get("HYPOTHESIS_PROFILE") or (
+        "ci" if os.environ.get("CI") else "dev"
+    )
+    settings.load_profile(profile)
+    return profile

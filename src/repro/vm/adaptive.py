@@ -79,6 +79,11 @@ class AdaptiveController:
             if not blocked:
                 continue
             self.vm.recompile(method_name, blocked)
+            if self.vm.tracer.enabled:
+                self.vm.tracer.adaptive_recompile(
+                    self.vm.machine.uops_executed, method_name,
+                    tuple(sorted(blocked)), rate,
+                )
             decision = AdaptiveDecision(method_name, blocked, rate)
             self.decisions.append(decision)
             new_decisions.append(decision)

@@ -24,6 +24,7 @@ from ..hw.stats import ExecStats
 from ..hw.timing import INTERPRETER_CYCLES_PER_BYTECODE, TimingModel
 from ..lang.bytecode import Method, Program
 from ..lang.validate import validate_program
+from ..obs.tracer import NULL_TRACER
 from ..runtime.errors import VMError
 from ..runtime.heap import Heap, Value
 from ..runtime.interpreter import Interpreter
@@ -54,6 +55,7 @@ class TieredVM:
         fault_plan: FaultPlan | None = None,
         fault_injector: FaultInjector | None = None,
         validate: bool = True,
+        tracer=None,
     ) -> None:
         if validate:
             validate_program(program)
@@ -61,6 +63,10 @@ class TieredVM:
         self.compiler_config = compiler_config
         self.hw_config = hw_config
         self.options = options if options is not None else VMOptions()
+        #: region-lifecycle tracer shared by the machine, the scheduler,
+        #: the fault injector, and the adaptive controller.  Defaults to
+        #: the null tracer: one attribute check, zero emission.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.heap = Heap()
         self.profiles = ProfileStore()
@@ -89,6 +95,7 @@ class TieredVM:
                 timing=self.timing,
                 dispatcher=self,
                 fault_injector=fault_injector,
+                tracer=self.tracer,
             )
         else:
             self.machine = Machine(
@@ -100,6 +107,7 @@ class TieredVM:
                 dispatcher=self,
                 conflict_injector=conflict_injector,
                 interrupt_interval=self.options.interrupt_interval,
+                tracer=self.tracer,
             )
             self.fault_injector = self.machine.fault_injector
         self.compiled: dict[str, CompilationRecord] = {}
@@ -141,6 +149,12 @@ class TieredVM:
         )
         self.compiled[qualified] = record
         self.compilations += 1
+        if self.tracer.enabled:
+            # Tier transition: this method leaves the interpreter for the
+            # machine (blocked_asserts > 0 marks an adaptive recompile).
+            self.tracer.tier_compile(
+                self.machine.uops_executed, qualified, len(blocked),
+            )
         return record
 
     def compile_hot(self, min_invocations: int | None = None) -> list[str]:
@@ -199,6 +213,7 @@ class TieredVM:
         """
         sched = DeterministicScheduler(plan)
         sched.line_shift = self.hw_config.line_shift
+        sched.tracer = self.tracer
         self.machine.sched = sched
         self.interpreter.sched = sched
         try:

@@ -1,0 +1,5 @@
+"""Test-suite configuration: bounded hypothesis profiles (ci vs. dev)."""
+
+from repro.testutil.hypo import register_hypothesis_profiles
+
+register_hypothesis_profiles()

@@ -297,12 +297,12 @@ class TestSerializabilityOracle:
         # The sweep exercised the conflict bus, not just disjoint lines.
         assert any(c.stats.real_conflict_aborts > 0 for c in report.checks)
 
-    def test_lost_update_detector_fires(self):
+    def test_lost_update_detector_fires(self, tmp_path):
         """Remove the monitors and the regions, and the oracle must call
         out the atomicity violation with the schedule that produced it."""
         report = run_concurrency_chaos(
             racy_counter_workload(), NO_ATOMIC,
-            seeds=(0, 1, 2, 3), quantum=(3, 9),
+            seeds=(0, 1, 2, 3), quantum=(3, 9), trace_dir=str(tmp_path),
         )
         failures = report.failures()
         assert failures, "racy counter was never caught"
@@ -312,6 +312,8 @@ class TestSerializabilityOracle:
             assert check.violation is not None
             assert "atomicity violation" in check.violation
             assert "interleaving" in check.violation
+            # The failing schedule's lifecycle trace lands next to the seed.
+            assert check.trace_path is not None
             # Determinism is orthogonal to atomicity: the broken schedule
             # still replays exactly.
             assert check.replay_identical

@@ -1,0 +1,164 @@
+"""Cross-tier differential-fuzz sweep, with tracing as a no-op observer.
+
+Every seeded random guest program is pushed through every execution tier —
+tier-0 interpreter, raw IR, the optimization pipeline, atomic-region
+formation, and the compiled machine — and all five must agree on the
+observable outcome (return value, guest exception, heap digest where
+available).  Programs are ``parametric``: they are profiled with one
+argument and measured with another, so region-formed code genuinely fires
+its hardware asserts and the sweep exercises abort/rollback, not just the
+commit path.
+
+On top of the tier oracle, the sweep proves the observability subsystem is
+invisible: running with a live :class:`repro.obs.Tracer` must produce
+byte-identical outcomes and ``ExecStats.summary()`` dicts as the null
+tracer, and two traced runs of the same seed must produce bit-identical
+event streams.
+
+The seed window is CI-shardable: ``DIFF_SEED_BASE`` / ``DIFF_SEED_COUNT``
+environment variables move it (defaults cover seeds 0..49).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.atomic import form_regions
+from repro.harness import run_workload
+from repro.obs import Tracer
+from repro.opt import optimize
+from repro.runtime import GuestError
+from repro.testutil import outcome_bytecode, outcome_ir, profiled
+from repro.testutil.genprog import GenConfig, ProgramGenerator
+from repro.vm import ATOMIC_AGGRESSIVE, TieredVM, VMOptions
+from repro.workloads import get_workload, workload_names
+
+_SEED_BASE = int(os.environ.get("DIFF_SEED_BASE", "0"))
+_SEED_COUNT = int(os.environ.get("DIFF_SEED_COUNT", "50"))
+SEEDS = list(range(_SEED_BASE, _SEED_BASE + _SEED_COUNT))
+
+#: profile with one argument, measure with another: the cold paths the
+#: profile never saw become asserts in region-formed code, and the
+#: measurement argument walks straight into them.
+WARM_ARG = 1
+RUN_ARG = -3
+
+
+def _generate(seed: int):
+    return ProgramGenerator(
+        GenConfig(seed=seed, parametric=True, max_statements=10)
+    ).generate()
+
+
+def _run_tiered(program, tracer=None, timing=True):
+    """Full tiered execution: warm-up, compile, measure one call."""
+    vm = TieredVM(
+        program,
+        ATOMIC_AGGRESSIVE,
+        options=VMOptions(enable_timing=timing, compile_threshold=1),
+        tracer=tracer,
+    )
+    vm.warm_up("main", [[WARM_ARG]] * 3)
+    vm.compile_hot(min_invocations=1)
+    vm.start_measurement()
+    try:
+        value, error = vm.run("main", [RUN_ARG]), None
+    except GuestError as exc:
+        value, error = None, type(exc).__name__
+    stats = vm.end_measurement()
+    return value, error, stats
+
+
+class TestCrossTierSweep:
+    """Seeded programs through interpreter -> IR -> opt -> regions -> machine."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_tiers_agree(self, seed):
+        program = _generate(seed)
+        expected = outcome_bytecode(program, args=(RUN_ARG,))
+        profiles = profiled(program, args=(WARM_ARG,))
+
+        raw_ir, _ = outcome_ir(program, args=(RUN_ARG,), profiles=profiles)
+        assert raw_ir == expected, f"seed {seed}: raw IR diverged"
+
+        def opt_only(graph, _program):
+            optimize(graph)  # mutates in place; returns pipeline stats
+
+        opt_ir, _ = outcome_ir(
+            program, args=(RUN_ARG,), transform=opt_only, profiles=profiles,
+        )
+        assert opt_ir == expected, f"seed {seed}: optimized IR diverged"
+
+        def regions_then_opt(graph, _program):
+            form_regions(graph)
+            optimize(graph)
+
+        region_ir, _ = outcome_ir(
+            program, args=(RUN_ARG,), transform=regions_then_opt,
+            profiles=profiles,
+        )
+        assert region_ir == expected, f"seed {seed}: region-formed IR diverged"
+
+        value, error, _stats = _run_tiered(program, timing=False)
+        assert (value, error) == (expected.value, expected.error), (
+            f"seed {seed}: compiled machine diverged"
+        )
+
+    def test_sweep_fires_asserts(self):
+        """The parametric warm/run split must actually exercise aborts:
+        a sweep where every region commits would prove nothing about
+        rollback."""
+        aborted = 0
+        for seed in SEEDS:
+            _, _, stats = _run_tiered(_generate(seed), timing=False)
+            aborted += stats.regions_aborted
+        assert aborted > 0
+
+
+class TestTracingChangesNothing:
+    """The headline oracle: a live tracer is observationally inert."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_traced_run_byte_identical(self, seed):
+        program = _generate(seed)
+        null_value, null_error, null_stats = _run_tiered(program)
+        tracer = Tracer()
+        value, error, stats = _run_tiered(_generate(seed), tracer=tracer)
+        assert (value, error) == (null_value, null_error)
+        assert stats.summary() == null_stats.summary()
+        # Same seed, same tracer: the event stream replays bit-for-bit.
+        replay = Tracer()
+        _run_tiered(_generate(seed), tracer=replay)
+        assert replay.events == tracer.events
+        assert replay.emitted == tracer.emitted
+
+    def test_region_activity_is_traced(self):
+        """At least one sweep seed must produce region lifecycle events —
+        otherwise the bit-identical assertion above compares empty lists."""
+        kinds = set()
+        for seed in SEEDS[:10]:
+            tracer = Tracer()
+            _run_tiered(_generate(seed), tracer=tracer)
+            kinds.update(event.kind for event in tracer.events)
+        assert "region_enter" in kinds
+        assert "tier_compile" in kinds
+
+
+class TestWorkloadFiguresUnchanged:
+    """Figure 7/8 inputs are byte-identical with tracing enabled (the
+    EXPERIMENTS.md contract: published figures run with the null tracer,
+    but a traced rerun reproduces them exactly)."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_stats_identical_traced_vs_null(self, name):
+        workload = get_workload(name)
+        baseline = run_workload(workload, ATOMIC_AGGRESSIVE, use_cache=False)
+        traced = run_workload(
+            workload, ATOMIC_AGGRESSIVE, tracer=Tracer(capacity=1 << 16)
+        )
+        assert len(baseline.samples) == len(traced.samples)
+        for base, trace in zip(baseline.samples, traced.samples):
+            assert trace.guest_results == base.guest_results
+            assert trace.stats.summary() == base.stats.summary()
