@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Host-performance trajectory: wall-clock the pre-decoded fast path.
+
+Times representative workload cells — the paper's marker-delimited
+measurement sweeps on compiled code, which is exactly what the
+pre-decoded dispatch accelerates — under both dispatch strategies in the
+same process, asserts they produce byte-identical ``ExecStats``
+summaries and guest results, and emits ``BENCH_host.json``::
+
+    {"<bench>": {"wall_s": ...,            # fast path, best of N repeats
+                 "baseline_wall_s": ...,   # interpretive dispatch, same run
+                 "uops_per_s": ...,        # retired uops / fast wall
+                 "speedup_vs_baseline": ...}}
+
+Usage:
+    python benchmarks/bench_host_perf.py [--output BENCH_host.json]
+        [--check BASELINE.json] [--repeats 3]
+
+``--check`` compares the fresh measurements against a previously emitted
+file and exits non-zero if any cell's fast-path wall time regressed more
+than 25% — the CI perf-smoke gate.  Run standalone, not under pytest:
+the point is wall-clock, and pytest fixtures add noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.runtime import GuestError                     # noqa: E402
+from repro.testutil.genprog import GenConfig, ProgramGenerator  # noqa: E402
+from repro.vm import ATOMIC_AGGRESSIVE, TieredVM, VMOptions     # noqa: E402
+from repro.workloads import get_workload                 # noqa: E402
+
+#: allowed fast-path wall-time regression before --check fails.
+REGRESSION_BUDGET = 0.25
+
+#: the workload cells on the trajectory: the two hottest sweeps (the
+#: acceptance cells), a third functional sweep, and the two hottest
+#: timed cells (the timing model bounds their speedup — tracked so a
+#: timing-model regression shows up here too).
+WORKLOAD_CELLS = [
+    ("hsqldb_sweep", "hsqldb", False),
+    ("xalan_sweep", "xalan", False),
+    ("jython_sweep", "jython", False),
+    ("hsqldb_timed", "hsqldb", True),
+    ("xalan_timed", "xalan", True),
+]
+
+DIFF_SEEDS = range(0, 10)
+#: measured invocations per differential seed: enough work per program
+#: that the one-time pre-decode cost is amortized the way any real sweep
+#: amortizes it.
+DIFF_CALLS = 25
+
+
+def _measured_sweep(name: str, timing: bool, dispatch: str):
+    """Warm + compile untimed, then wall-clock the measurement sweep.
+
+    Returns (wall seconds, uops retired, outcome digest).  The digest —
+    guest results plus every sample's ``ExecStats.summary()`` — is what
+    the two dispatch modes must agree on byte-for-byte.
+    """
+    workload = get_workload(name)
+    wall = 0.0
+    uops = 0
+    digest = []
+    for sample in workload.samples:
+        vm = TieredVM(
+            workload.build(),
+            compiler_config=ATOMIC_AGGRESSIVE,
+            options=VMOptions(enable_timing=timing, compile_threshold=3,
+                              dispatch=dispatch),
+        )
+        vm.warm_up(workload.entry, [list(a) for a in sample.warm_args])
+        vm.compile_hot(min_invocations=1)
+        vm.start_measurement()
+        begin = time.perf_counter()
+        results = [vm.run(workload.entry, list(a))
+                   for a in sample.measure_args]
+        wall += time.perf_counter() - begin
+        stats = vm.end_measurement()
+        uops += stats.uops_retired
+        digest.append((results, stats.summary()))
+    return wall, uops, digest
+
+
+def _differential_sweep(dispatch: str):
+    """The cross-tier differential matrix cell: seeded generated guests,
+    profiled with one argument and measured with another."""
+    wall = 0.0
+    uops = 0
+    digest = []
+    for seed in DIFF_SEEDS:
+        program = ProgramGenerator(
+            GenConfig(seed=seed, parametric=True, max_statements=10)
+        ).generate()
+        vm = TieredVM(
+            program, ATOMIC_AGGRESSIVE,
+            options=VMOptions(enable_timing=False, compile_threshold=1,
+                              dispatch=dispatch),
+        )
+        vm.warm_up("main", [[1]] * 3)
+        vm.compile_hot(min_invocations=1)
+        vm.start_measurement()
+        outcomes = []
+        begin = time.perf_counter()
+        for _ in range(DIFF_CALLS):
+            try:
+                outcomes.append(("value", vm.run("main", [-3])))
+            except GuestError as exc:
+                outcomes.append(("error", type(exc).__name__))
+        wall += time.perf_counter() - begin
+        stats = vm.end_measurement()
+        uops += stats.uops_retired
+        digest.append((outcomes, stats.summary()))
+    return wall, uops, digest
+
+
+def _time_cell(run, repeats: int):
+    """Best-of-N wall clock for one (cell, dispatch) pair."""
+    best_wall = None
+    uops = 0
+    digest = None
+    for _ in range(repeats):
+        wall, uops, digest = run()
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return best_wall, uops, digest
+
+
+def run_suite(repeats: int) -> dict:
+    results: dict[str, dict] = {}
+    cells = [
+        (bench, lambda d, n=name, t=timing: _measured_sweep(n, t, d))
+        for bench, name, timing in WORKLOAD_CELLS
+    ]
+    cells.append(("differential_sweep", _differential_sweep))
+    for bench, cell in cells:
+        fast_wall, fast_uops, fast_digest = _time_cell(
+            lambda: cell("predecoded"), repeats)
+        slow_wall, _slow_uops, slow_digest = _time_cell(
+            lambda: cell("interpretive"), repeats)
+        if fast_digest != slow_digest:
+            raise AssertionError(
+                f"{bench}: pre-decoded dispatch diverged from interpretive "
+                "dispatch — the fast path is NOT observationally inert"
+            )
+        results[bench] = {
+            "wall_s": round(fast_wall, 4),
+            "baseline_wall_s": round(slow_wall, 4),
+            "uops_per_s": round(fast_uops / fast_wall),
+            "speedup_vs_baseline": round(slow_wall / fast_wall, 2),
+        }
+        print(f"{bench:>20}: fast {fast_wall:.3f}s  "
+              f"interpretive {slow_wall:.3f}s  "
+              f"{results[bench]['speedup_vs_baseline']:.2f}x  "
+              f"({results[bench]['uops_per_s']:,} uops/s)")
+    return results
+
+
+def check_regression(fresh: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for bench, entry in fresh.items():
+        base = baseline.get(bench)
+        if base is None:
+            continue
+        budget = base["wall_s"] * (1.0 + REGRESSION_BUDGET)
+        if entry["wall_s"] > budget:
+            failures.append(
+                f"{bench}: {entry['wall_s']:.3f}s vs baseline "
+                f"{base['wall_s']:.3f}s (>{REGRESSION_BUDGET:.0%} budget)"
+            )
+    if failures:
+        print("PERF REGRESSION:", *failures, sep="\n  ")
+        return 1
+    print(f"perf check ok: no cell regressed more than "
+          f"{REGRESSION_BUDGET:.0%} vs {baseline_path}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write BENCH_host.json here "
+                             "(default: repo root)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if fast-path wall time regressed >25%% "
+                             "against this previously emitted file")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repetitions per cell (best-of)")
+    args = parser.parse_args()
+
+    results = run_suite(args.repeats)
+    output = Path(args.output) if args.output else (
+        Path(__file__).resolve().parents[1] / "BENCH_host.json"
+    )
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    if args.check:
+        return check_regression(results, Path(args.check))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

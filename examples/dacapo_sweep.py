@@ -5,15 +5,37 @@ four compiler configurations, printing Figure 7, Figure 8, and Table 3.
 This is the long-running example (a few minutes): it performs the same
 runs the benchmark suite performs.  Pass benchmark names to restrict it,
 e.g.  python examples/dacapo_sweep.py xalan hsqldb
+
+Options:
+  --workers N     compute independent cells on an N-process pool (the
+                  merge order is deterministic, so the printed tables are
+                  byte-identical to a serial run)
+  --disk-cache    persist/reuse per-cell results in .repro-cache, keyed
+                  by a content hash of the source tree and the cell
+                  config (equivalent to REPRO_DISK_CACHE=1)
 """
 
+import os
 import sys
 
-from repro.harness import figure7, figure8, render, table3
+from repro.harness import figure7, figure8, prewarm_figures, render, table3
 
 
 def main():
-    benches = sys.argv[1:] or None
+    args = sys.argv[1:]
+    workers = None
+    if "--workers" in args:
+        at = args.index("--workers")
+        workers = int(args[at + 1])
+        del args[at:at + 2]
+    if "--disk-cache" in args:
+        args.remove("--disk-cache")
+        os.environ["REPRO_DISK_CACHE"] = "1"
+    benches = args or None
+
+    computed = prewarm_figures(benches, workers=workers)
+    print(f"# {computed} cells computed "
+          f"({'serial' if not workers or workers <= 1 else f'{workers} workers'})")
     for builder in (figure7, figure8, table3):
         data = builder(benches)
         print()

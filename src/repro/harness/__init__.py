@@ -28,10 +28,18 @@ from .figures import (
     table2,
     table3,
 )
+from .parallel import (
+    Cell,
+    figure_cells,
+    prewarm_figures,
+    run_chaos_parallel,
+    run_indexed,
+)
 from .report import render, render_all, render_concurrency, render_timeline
 
 __all__ = [
     "BENCH_ORDER",
+    "Cell",
     "ChaosCheck",
     "ChaosReport",
     "ConcurrencyCheck",
@@ -44,12 +52,16 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "figure_cells",
+    "prewarm_figures",
     "render",
     "render_all",
     "render_concurrency",
     "render_timeline",
     "run_chaos",
+    "run_chaos_parallel",
     "run_concurrency_chaos",
+    "run_indexed",
     "run_workload",
     "section62",
     "section63",

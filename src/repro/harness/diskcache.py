@@ -1,0 +1,91 @@
+"""On-disk experiment-result cache keyed by content hash.
+
+A figure sweep recomputes the same (workload, config) cells across
+benchmark scripts and CI jobs.  This cache persists each
+:class:`repro.harness.experiment.RunResult` under a key that hashes the
+full cell configuration *and the simulator source tree*, so a stale
+entry can never survive a code change: touch any ``src/repro`` module and
+every key moves.
+
+The cache is opt-in (``REPRO_DISK_CACHE=1``) so tests and default runs
+never read state left by a previous process; the directory defaults to
+``.repro-cache`` under the current directory (``REPRO_DISK_CACHE_DIR``
+overrides).  Writes are atomic (temp file + rename), so a crashed or
+concurrent writer can only ever leave a complete entry or none.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: memoized source-tree digest (one walk per process).
+_code_version: str | None = None
+
+
+def enabled(explicit: bool | None = None) -> bool:
+    """Explicit argument wins; otherwise the ``REPRO_DISK_CACHE`` env var."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get("REPRO_DISK_CACHE", "").lower() in _TRUTHY
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_DISK_CACHE_DIR", ".repro-cache"))
+
+
+def code_version() -> str:
+    """Digest of every ``src/repro`` Python source file, path-ordered."""
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def entry_key(cell_key: tuple) -> str:
+    """Content hash of (source tree, cell configuration)."""
+    payload = repr((code_version(), cell_key)).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _entry_path(cell_key: tuple) -> Path:
+    return cache_dir() / f"{entry_key(cell_key)}.pickle"
+
+
+def load(cell_key: tuple):
+    """The cached result for ``cell_key``, or None (never raises)."""
+    path = _entry_path(cell_key)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return None
+
+
+def store(cell_key: tuple, result) -> None:
+    """Persist ``result`` atomically; failures are non-fatal."""
+    path = _entry_path(cell_key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass

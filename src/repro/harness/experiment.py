@@ -20,6 +20,7 @@ from ..vm.adaptive import AdaptiveController
 from ..vm.compiler import CompilerConfig
 from ..vm.vm import TieredVM, VMOptions
 from ..workloads.base import Workload
+from . import diskcache
 
 
 @dataclass
@@ -109,6 +110,35 @@ def clear_cache() -> None:
     _cache.clear()
 
 
+def memo_key(
+    workload_name: str,
+    compiler_name: str,
+    hardware_name: str = BASELINE_4WIDE.name,
+    timing: bool = True,
+    force_monomorphic: bool = False,
+    adaptive: bool = False,
+    interrupt_interval: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    dispatch: str = "auto",
+) -> tuple:
+    """The canonical memoization key for one experiment cell.
+
+    Shared by :func:`run_workload` and the parallel runner (which computes
+    cells in worker processes and installs the results here), so the two
+    can never disagree about what identifies a cell.
+    """
+    return (
+        workload_name, compiler_name, hardware_name, timing,
+        force_monomorphic, adaptive, interrupt_interval, fault_plan,
+        dispatch,
+    )
+
+
+def install_cached(key: tuple, result: RunResult) -> None:
+    """Seed the in-memory memo table with an externally computed cell."""
+    _cache[key] = result
+
+
 def run_workload(
     workload: Workload,
     compiler_config: CompilerConfig,
@@ -120,23 +150,42 @@ def run_workload(
     fault_plan: FaultPlan | None = None,
     use_cache: bool = True,
     tracer=None,
+    dispatch: str = "auto",
+    disk_cache: bool | None = None,
 ) -> RunResult:
     """Run every sample of ``workload`` under the given configuration.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records region-lifecycle
     events across all samples; traced runs bypass the cache so a stateful
     tracer never leaks into (or out of) memoized results.
+
+    ``dispatch`` selects the machine's uop dispatch strategy (see
+    :class:`repro.hw.machine.Machine`); it participates in the memo key
+    even though every strategy is observationally identical, so
+    dispatch-equivalence tests always compare two real executions.
+
+    ``disk_cache`` additionally consults/updates the on-disk result cache
+    (:mod:`repro.harness.diskcache`, content-hash keyed so any source
+    change invalidates it); None defers to ``REPRO_DISK_CACHE``.
     """
     if fault_plan is not None and interrupt_interval is not None:
         raise ValueError("fault_plan subsumes interrupt_interval; pick one")
     if tracer is not None:
         use_cache = False
-    key = (
+    key = memo_key(
         workload.name, compiler_config.name, hw_config.name, timing,
         force_monomorphic, adaptive, interrupt_interval, fault_plan,
+        dispatch,
     )
     if use_cache and key in _cache:
         return _cache[key]
+    on_disk = diskcache.enabled(disk_cache) and tracer is None
+    if on_disk:
+        cached = diskcache.load(key)
+        if cached is not None:
+            if use_cache:
+                _cache[key] = cached
+            return cached
 
     result = RunResult(
         workload=workload.name,
@@ -161,6 +210,7 @@ def run_workload(
                 enable_timing=timing,
                 compile_threshold=3,
                 interrupt_interval=interrupt_interval,
+                dispatch=dispatch,
             ),
             fault_plan=fault_plan,
             tracer=tracer,
@@ -191,6 +241,8 @@ def run_workload(
         )
     if use_cache:
         _cache[key] = result
+    if on_disk:
+        diskcache.store(key, result)
     return result
 
 

@@ -1,0 +1,218 @@
+"""Sharded parallel experiment runner with a deterministic merge order.
+
+Figure sweeps and chaos matrices decompose into independent cells — one
+(workload, compiler, hardware, flags) experiment, or one fault seed — and
+every cell builds its own VM from scratch, so cells parallelize across a
+process pool with no shared state.  Two disciplines keep the parallel
+runs byte-identical to serial ones:
+
+- **Deterministic partitioning.**  Work is sharded *by cell*, never by
+  splitting a cell: seeds keep their identity (each worker derives its
+  fault schedule from its own seed exactly as the serial loop does, the
+  ``derive_seed`` discipline), so no PRNG stream ever depends on which
+  worker ran it.
+- **Deterministic merge.**  Results are collected in *submission* order,
+  not completion order, and chaos checks are re-sorted into the serial
+  loop's (sample, seed-position) order — so reports, tables, and
+  EXPERIMENTS.md output are independent of scheduling noise.
+
+``run_indexed`` degrades to a plain in-process loop for ``workers <= 1``
+(the default when ``REPRO_WORKERS`` is unset), which is also the
+reference behavior the differential suite compares against.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..faults import FaultPlan
+from ..hw.config import (
+    BASELINE_4WIDE,
+    CHKPT_20CYCLE,
+    CHKPT_SINGLE_INFLIGHT,
+    OOO_2WIDE,
+    OOO_2WIDE_HALF,
+)
+from ..vm.compiler import (
+    ATOMIC,
+    ATOMIC_AGGRESSIVE,
+    NO_ATOMIC,
+    NO_ATOMIC_AGGRESSIVE,
+)
+from ..workloads import get_workload
+from . import experiment
+from .chaos import ChaosReport, run_chaos
+from .figures import BENCH_ORDER
+
+#: named configs a worker process can resolve from a picklable cell spec.
+COMPILER_CONFIGS = {
+    c.name: c
+    for c in (NO_ATOMIC, ATOMIC, NO_ATOMIC_AGGRESSIVE, ATOMIC_AGGRESSIVE)
+}
+HARDWARE_CONFIGS = {
+    h.name: h
+    for h in (BASELINE_4WIDE, CHKPT_20CYCLE, CHKPT_SINGLE_INFLIGHT,
+              OOO_2WIDE, OOO_2WIDE_HALF)
+}
+
+
+def default_workers() -> int:
+    """``REPRO_WORKERS`` if set, else 1 (serial; opt into parallelism)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+def run_indexed(items, fn, workers: int | None = None) -> list:
+    """Map ``fn`` over ``items``; results always in ``items`` order.
+
+    With ``workers <= 1`` this is a plain loop.  Otherwise the calls run
+    on a process pool and the futures are drained in submission order —
+    the merge is deterministic no matter how the pool schedules them.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+
+# -- figure-sweep cells -------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cell:
+    """One picklable experiment cell (resolved by name in the worker)."""
+
+    workload: str
+    compiler: str
+    hardware: str = BASELINE_4WIDE.name
+    timing: bool = True
+    force_monomorphic: bool = False
+    adaptive: bool = False
+    dispatch: str = "auto"
+
+    def key(self) -> tuple:
+        return experiment.memo_key(
+            self.workload, self.compiler, self.hardware, self.timing,
+            self.force_monomorphic, self.adaptive, dispatch=self.dispatch,
+        )
+
+
+def figure_cells(benches: list[str] | None = None) -> list[Cell]:
+    """Every registry cell the figure drivers consume, in a fixed order.
+
+    Covers Figures 7/8/9, Tables 2/3, and §6.2/§6.3 (§7's adaptive run
+    uses a derived workload that only exists in-process, so it stays
+    serial).  Order is deterministic: benchmark-major, then config.
+    """
+    benches = list(benches) if benches is not None else list(BENCH_ORDER)
+    cells: list[Cell] = []
+    for bench in benches:
+        for compiler in (NO_ATOMIC, ATOMIC, NO_ATOMIC_AGGRESSIVE,
+                         ATOMIC_AGGRESSIVE):
+            cells.append(Cell(bench, compiler.name))
+        if (bench == "jython"
+                and get_workload(bench).force_monomorphic_sites is not None):
+            cells.append(Cell(bench, ATOMIC.name, force_monomorphic=True))
+        for hw in (CHKPT_20CYCLE, CHKPT_SINGLE_INFLIGHT):
+            cells.append(Cell(bench, ATOMIC_AGGRESSIVE.name, hw.name))
+        for hw in (OOO_2WIDE, OOO_2WIDE_HALF):
+            cells.append(Cell(bench, NO_ATOMIC.name, hw.name))
+            cells.append(Cell(bench, ATOMIC_AGGRESSIVE.name, hw.name))
+    return cells
+
+
+def compute_cell(cell: Cell):
+    """Worker entry: run one cell; returns (memo key, result)."""
+    result = experiment.run_workload(
+        get_workload(cell.workload),
+        COMPILER_CONFIGS[cell.compiler],
+        HARDWARE_CONFIGS[cell.hardware],
+        timing=cell.timing,
+        force_monomorphic=cell.force_monomorphic,
+        adaptive=cell.adaptive,
+        dispatch=cell.dispatch,
+        use_cache=False,
+    )
+    return cell.key(), result
+
+
+def prewarm_figures(
+    benches: list[str] | None = None,
+    workers: int | None = None,
+    cells: list[Cell] | None = None,
+) -> int:
+    """Compute figure cells (in parallel) and seed the in-process memo.
+
+    After this, the figure drivers (:func:`repro.harness.figures.figure7`
+    etc.) find every registry cell already cached and only glue results
+    together.  Returns the number of cells installed.  Cells already in
+    the memo (or the enabled disk cache) are not recomputed.
+    """
+    pending = [
+        cell for cell in (cells if cells is not None
+                          else figure_cells(benches))
+        if cell.key() not in experiment._cache
+    ]
+    for key, result in run_indexed(pending, compute_cell, workers):
+        experiment.install_cached(key, result)
+    return len(pending)
+
+
+# -- sharded chaos sweeps -----------------------------------------------------
+
+def _chaos_shard(spec: tuple) -> ChaosReport:
+    """Worker entry: the full sample matrix for one fault seed."""
+    (workload_name, compiler_name, seed, hw_name, storm_reason,
+     max_samples) = spec
+    plan_factory = (
+        None if storm_reason is None
+        else (lambda _seed: FaultPlan.storm(storm_reason, offset=2))
+    )
+    return run_chaos(
+        get_workload(workload_name),
+        COMPILER_CONFIGS[compiler_name],
+        seeds=(seed,),
+        hw_config=HARDWARE_CONFIGS[hw_name],
+        plan_factory=plan_factory,
+        max_samples=max_samples,
+    )
+
+
+def run_chaos_parallel(
+    workload_name: str,
+    compiler_name: str = ATOMIC_AGGRESSIVE.name,
+    seeds=(0, 1, 2),
+    hw_name: str = BASELINE_4WIDE.name,
+    storm_reason: str | None = None,
+    max_samples: int | None = None,
+    workers: int | None = None,
+) -> ChaosReport:
+    """Seed-sharded :func:`repro.harness.chaos.run_chaos`.
+
+    Each worker runs the complete sample matrix for one seed — the fault
+    schedule is a pure function of that seed, so sharding cannot perturb
+    it — and the merged report re-sorts checks into the serial loop's
+    (sample index, seed position) order, making the merged report
+    byte-identical to a serial ``run_chaos`` over the same seeds.
+    """
+    seeds = list(seeds)
+    specs = [
+        (workload_name, compiler_name, seed, hw_name, storm_reason,
+         max_samples)
+        for seed in seeds
+    ]
+    shards = run_indexed(specs, _chaos_shard, workers)
+    seed_position = {seed: i for i, seed in enumerate(seeds)}
+    merged = ChaosReport()
+    merged.checks = sorted(
+        (check for shard in shards for check in shard.checks),
+        key=lambda c: (c.sample_index, seed_position[c.seed]),
+    )
+    return merged

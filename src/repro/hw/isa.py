@@ -152,8 +152,32 @@ class CompiledMethod:
     uses_regions: bool = False
     #: region ids patched to permanent non-speculative fallback: their
     #: ``aregion_begin`` jumps straight to the alt-PC (forward-progress
-    #: escalation).  Lives on the code object so a recompile starts fresh.
+    #: escalation).  The patch is a *durable* forward-progress decision:
+    #: recompilation carries it over to the new code object (the VM copies
+    #: the surviving region ids across), so a region that exhausted its
+    #: abort budget never speculates again.  Patch through
+    #: :meth:`disable_region` so the pre-decoded dispatch cache is
+    #: invalidated alongside the patch.
     disabled_regions: set = field(default_factory=set)
+    #: cached pre-decoded dispatch form (:mod:`repro.hw.codegen`'s
+    #: ``predecode``); not part of value semantics.
+    _predecoded: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instrs)
+
+    def disable_region(self, region_id: int) -> None:
+        """Patch ``region_id`` to its permanent non-speculative fallback.
+
+        Mutating :attr:`disabled_regions` changes what the installed code
+        *does* at the region's ``aregion_begin``, so any pre-decoded
+        dispatch form built from the old code is stale; this is the one
+        sanctioned patch point and it drops that cache atomically with
+        the patch.
+        """
+        self.disabled_regions.add(region_id)
+        self.invalidate_predecode()
+
+    def invalidate_predecode(self) -> None:
+        """Drop the cached pre-decoded dispatch form (if any)."""
+        self._predecoded = None

@@ -25,7 +25,6 @@ from ..faults.injector import FaultInjector, RegionFaultSchedule
 from ..obs.tracer import NULL_TRACER
 from ..runtime.errors import (
     BoundsError,
-    GuestArithmeticError,
     GuestError,
     MonitorStateError,
     NullPointerError,
@@ -34,6 +33,7 @@ from ..runtime.errors import (
 from ..runtime.heap import GuestArray, GuestObject, Heap, Value
 from ..runtime.interpreter import compare, guest_div, guest_mod, wrap_int
 from ..runtime.locks import MAIN_THREAD
+from .codegen import ExecFrame, _trap_error, get_predecoded, machine_compare
 from .config import BASELINE_4WIDE, HardwareConfig
 from .isa import CompiledMethod, MInstr, MOp
 from .stats import ExecStats, RegionExecution
@@ -79,17 +79,10 @@ class _RegionState:
     real_conflict: bool = False
 
 
-def _machine_compare(cond: str, a: Value, b: Value) -> bool:
-    if cond == "uge":
-        # Unsigned bounds comparison: negative indexes wrap to huge values.
-        ua = a & 0xFFFFFFFFFFFFFFFF
-        ub = b & 0xFFFFFFFFFFFFFFFF
-        return ua >= ub
-    if b is None and cond in ("eq", "ne", "gt", "lt", "ge", "le"):
-        # Compare against zero / null.
-        if isinstance(a, int):
-            b = 0
-    return compare(cond, a, b)
+#: canonical branch-condition semantics live in :mod:`repro.hw.codegen`
+#: (shared with the pre-decoded handlers); this alias keeps the slow path's
+#: historical spelling.
+_machine_compare = machine_compare
 
 
 class Machine:
@@ -107,6 +100,7 @@ class Machine:
         interrupt_interval: int | None = None,
         fault_injector: FaultInjector | None = None,
         tracer=None,
+        dispatch: str = "auto",
     ) -> None:
         self.program = program
         self.heap = heap
@@ -139,6 +133,14 @@ class Machine:
             fault_injector.clock = lambda: self.uops_executed
         self.conflict_injector = conflict_injector
         self.interrupt_interval = interrupt_interval
+        #: uop dispatch strategy: "auto" (pre-decoded fast path whenever it
+        #: is observationally safe), "predecoded" (same gating; explicit),
+        #: or "interpretive" (always the slow loop).  The fast path is only
+        #: taken with no tracer and no scheduler attached, so traced runs
+        #: and multi-threaded runs see the instrumented loop unchanged.
+        if dispatch not in ("auto", "predecoded", "interpretive"):
+            raise VMError(f"unknown dispatch mode {dispatch!r}")
+        self.dispatch = dispatch
         #: deterministic guest scheduler (attached by TieredVM.run_threads);
         #: None keeps the machine single-threaded and bit-identical to the
         #: pre-scheduler behaviour.
@@ -168,6 +170,10 @@ class Machine:
                 f"{compiled.name}: expected {compiled.num_params} args, "
                 f"got {len(args)}"
             )
+        if (self.dispatch != "interpretive"
+                and self.sched is None
+                and not self.tracer.enabled):
+            return self._execute_fast(compiled, args)
         code_base = self._code_base(compiled)
         spill_base = self._next_spill_base
         self._next_spill_base += 0x10000
@@ -502,6 +508,65 @@ class Machine:
                     )
                     region = None
 
+    # -- pre-decoded fast path ----------------------------------------------
+    def _execute_fast(self, compiled: CompiledMethod, args: list[Value]) -> Value:
+        """Run the pre-decoded dispatch form of ``compiled``.
+
+        Observationally identical to the interpretive loop (enforced by
+        the differential suite); only reached with the null tracer and no
+        scheduler, so nothing instrumented is skipped.
+        """
+        pre = get_predecoded(compiled, self._line_shift)
+        code_base = self._code_base(compiled)
+        spill_base = self._next_spill_base
+        self._next_spill_base += 0x10000
+
+        regs: list[Value] = [0] * compiled.num_regs
+        spill: list[Value] = [0] * max(compiled.num_spill_slots, 1)
+        for value, loc in zip(args, compiled.param_locations):
+            kind, index = loc
+            if kind == "r":
+                regs[index] = value
+            else:
+                spill[index] = value
+
+        fr = ExecFrame()
+        fr.machine = self
+        fr.compiled = compiled
+        fr.regs = regs
+        fr.spill = spill
+        fr.spill_base = spill_base
+        fr.code_base = code_base
+        fr.region = None
+        fr.tid = MAIN_THREAD
+        fr.stats = self.stats
+        fr.timing = self.timing
+        fr.ret = None
+
+        handlers = pre.handlers
+        pc = 0
+        while pc >= 0:
+            pc = handlers[pc](fr)
+        return fr.ret
+
+    def _fast_abort(self, fr: ExecFrame, reason: str, next_pc: int) -> int:
+        """Retirement-check abort from a handler; returns the resume pc."""
+        pc = self._do_abort(
+            fr.compiled, fr.region, reason, fr.code_base + next_pc, None,
+            fr.regs, fr.spill,
+        )
+        fr.region = None
+        return pc
+
+    def _fast_exception(self, fr: ExecFrame, pc: int) -> int:
+        """Guest fault inside a region: abort without ticking the uop."""
+        resume = self._do_abort(
+            fr.compiled, fr.region, "exception", fr.code_base + pc, None,
+            fr.regs, fr.spill,
+        )
+        fr.region = None
+        return resume
+
     # -- helpers -------------------------------------------------------------
     def _code_base(self, compiled: CompiledMethod) -> int:
         base = self._code_bases.get(id(compiled))
@@ -768,7 +833,7 @@ class Machine:
         self._abort_streak[key] = streak
         threshold = self.config.region_fallback_threshold
         if threshold is not None and streak >= threshold:
-            compiled.disabled_regions.add(region.region_id)
+            compiled.disable_region(region.region_id)
             self._abort_streak[key] = 0
             self.stats.note_fallback(record.region_key)
             if self.tracer.enabled:
@@ -777,14 +842,3 @@ class Machine:
                     record.region_key[0], region.region_id,
                 )
         return region.alt_pc
-
-
-def _trap_error(instr: MInstr) -> GuestError:
-    kind = instr.fieldname or "trap"
-    if kind == "null":
-        return NullPointerError("null check failed")
-    if kind == "bounds":
-        return BoundsError(-1, -1)
-    if kind == "div0":
-        return GuestArithmeticError("division by zero")
-    return GuestError(kind)

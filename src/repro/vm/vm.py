@@ -40,6 +40,10 @@ class VMOptions:
     auto_compile: bool = True
     #: synthetic interrupt period in uops (None = no interrupts).
     interrupt_interval: int | None = None
+    #: machine dispatch strategy: "auto" (pre-decoded fast path when
+    #: observationally safe), "predecoded", or "interpretive" (always the
+    #: instrumented slow loop).  See :class:`repro.hw.machine.Machine`.
+    dispatch: str = "auto"
 
 
 class TieredVM:
@@ -96,6 +100,7 @@ class TieredVM:
                 dispatcher=self,
                 fault_injector=fault_injector,
                 tracer=self.tracer,
+                dispatch=self.options.dispatch,
             )
         else:
             self.machine = Machine(
@@ -108,6 +113,7 @@ class TieredVM:
                 conflict_injector=conflict_injector,
                 interrupt_interval=self.options.interrupt_interval,
                 tracer=self.tracer,
+                dispatch=self.options.dispatch,
             )
             self.fault_injector = self.machine.fault_injector
         self.compiled: dict[str, CompilationRecord] = {}
@@ -147,6 +153,16 @@ class TieredVM:
             self.program, method, self.profiles, self.compiler_config,
             blocked_asserts=blocked,
         )
+        previous = self.compiled.get(qualified)
+        if previous is not None:
+            # Forward-progress patches are durable decisions, not artifacts
+            # of one code object: a region that exhausted its abort budget
+            # must not resume speculating just because the method was
+            # recompiled (adaptively or otherwise).  Carry every surviving
+            # region's patch onto the new code.
+            for region_id in sorted(previous.compiled.disabled_regions):
+                if region_id in record.compiled.region_entries:
+                    record.compiled.disable_region(region_id)
         self.compiled[qualified] = record
         self.compilations += 1
         if self.tracer.enabled:

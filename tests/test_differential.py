@@ -52,12 +52,13 @@ def _generate(seed: int):
     ).generate()
 
 
-def _run_tiered(program, tracer=None, timing=True):
+def _run_tiered(program, tracer=None, timing=True, dispatch="auto"):
     """Full tiered execution: warm-up, compile, measure one call."""
     vm = TieredVM(
         program,
         ATOMIC_AGGRESSIVE,
-        options=VMOptions(enable_timing=timing, compile_threshold=1),
+        options=VMOptions(enable_timing=timing, compile_threshold=1,
+                          dispatch=dispatch),
         tracer=tracer,
     )
     vm.warm_up("main", [[WARM_ARG]] * 3)
@@ -146,6 +147,90 @@ class TestTracingChangesNothing:
         assert "tier_compile" in kinds
 
 
+class TestDispatchEquivalence:
+    """Pre-decoded dispatch is observationally inert (the PR 4 contract):
+    byte-identical outcomes, ``ExecStats.summary()`` dicts, and traced
+    event streams versus the interpretive loop, seed by seed."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fast_path_byte_identical(self, seed):
+        """Timed run: same outcome and stats summary — including every
+        cycle-level counter the timing model feeds — both dispatch ways."""
+        fast = _run_tiered(_generate(seed), dispatch="predecoded")
+        slow = _run_tiered(_generate(seed), dispatch="interpretive")
+        assert (fast[0], fast[1]) == (slow[0], slow[1]), (
+            f"seed {seed}: dispatch modes disagree on the outcome"
+        )
+        assert fast[2].summary() == slow[2].summary(), (
+            f"seed {seed}: dispatch modes disagree on ExecStats"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fast_path_byte_identical_functional(self, seed):
+        """Untimed run: the functional-mode stats agree too."""
+        fast = _run_tiered(_generate(seed), timing=False,
+                           dispatch="predecoded")
+        slow = _run_tiered(_generate(seed), timing=False,
+                           dispatch="interpretive")
+        assert (fast[0], fast[1]) == (slow[0], slow[1])
+        assert fast[2].summary() == slow[2].summary()
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_traced_event_streams_identical(self, seed):
+        """With a live tracer both modes must emit bit-identical event
+        streams (the fast path yields to the instrumented loop rather
+        than skip emission sites)."""
+        fast_tracer = Tracer()
+        fast = _run_tiered(_generate(seed), tracer=fast_tracer,
+                           dispatch="predecoded")
+        slow_tracer = Tracer()
+        slow = _run_tiered(_generate(seed), tracer=slow_tracer,
+                           dispatch="interpretive")
+        assert (fast[0], fast[1]) == (slow[0], slow[1])
+        assert fast[2].summary() == slow[2].summary()
+        assert fast_tracer.events == slow_tracer.events
+        assert fast_tracer.emitted == slow_tracer.emitted
+
+
+class TestParallelSweepEquivalence:
+    """The sharded parallel runner merges deterministically: parallel and
+    serial sweeps over the same seeds/cells are byte-identical."""
+
+    BENCHES = ["fop", "hsqldb"]
+
+    def test_figure_tables_identical_parallel_vs_serial(self):
+        from repro.harness import (
+            clear_cache, figure7, figure8, prewarm_figures, render,
+        )
+
+        clear_cache()
+        serial = (render(figure7(self.BENCHES)),
+                  render(figure8(self.BENCHES)))
+        clear_cache()
+        prewarm_figures(self.BENCHES, workers=2)
+        parallel = (render(figure7(self.BENCHES)),
+                    render(figure8(self.BENCHES)))
+        clear_cache()
+        assert parallel == serial
+
+    def test_chaos_matrix_identical_parallel_vs_serial(self):
+        from repro.harness import run_chaos, run_chaos_parallel
+        from repro.harness.parallel import COMPILER_CONFIGS
+
+        seeds = (0, 1, 2, 3)
+        serial = run_chaos(
+            get_workload("fop"), COMPILER_CONFIGS[ATOMIC_AGGRESSIVE.name],
+            seeds=seeds, max_samples=1,
+        )
+        parallel = run_chaos_parallel(
+            "fop", seeds=seeds, max_samples=1, workers=2,
+        )
+        assert parallel.describe() == serial.describe()
+        assert [c.stats.summary() for c in parallel.checks] == [
+            c.stats.summary() for c in serial.checks
+        ]
+
+
 class TestWorkloadFiguresUnchanged:
     """Figure 7/8 inputs are byte-identical with tracing enabled (the
     EXPERIMENTS.md contract: published figures run with the null tracer,
@@ -162,3 +247,17 @@ class TestWorkloadFiguresUnchanged:
         for base, trace in zip(baseline.samples, traced.samples):
             assert trace.guest_results == base.guest_results
             assert trace.stats.summary() == base.stats.summary()
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_stats_identical_fast_vs_interpretive(self, name):
+        """Figure 7/8 inputs are byte-identical under both dispatch modes
+        — the published tables cannot depend on the host fast path."""
+        workload = get_workload(name)
+        fast = run_workload(workload, ATOMIC_AGGRESSIVE, use_cache=False,
+                            dispatch="predecoded")
+        slow = run_workload(workload, ATOMIC_AGGRESSIVE, use_cache=False,
+                            dispatch="interpretive")
+        assert len(fast.samples) == len(slow.samples)
+        for f, s in zip(fast.samples, slow.samples):
+            assert f.guest_results == s.guest_results
+            assert f.stats.summary() == s.stats.summary()

@@ -165,8 +165,9 @@ class TestPermanentFallback:
         # Every entry aborted; recovery always made progress regardless.
         assert stats.regions_aborted == stats.regions_entered
 
-    def test_recompilation_clears_the_patch(self):
-        """The patch lives on the code object: recompiling starts fresh."""
+    def test_recompilation_preserves_the_patch(self):
+        """The patch is a durable forward-progress decision: recompiling
+        (adaptively or otherwise) carries it onto the new code object."""
         program = region_loop_program()
         hw = BASELINE_4WIDE.scaled(region_retry_budget=0,
                                    region_fallback_threshold=3)
@@ -179,12 +180,21 @@ class TestPermanentFallback:
         vm.compile_hot(min_invocations=1)
         vm.start_measurement()
         vm.run("work", [100, 0])
-        stats = vm.end_measurement()
+        vm.end_measurement()
         assert vm.compiled["work"].compiled.disabled_regions == {0}
 
         vm.recompile("work", set())
         fresh = vm.compiled["work"].compiled
-        assert fresh.disabled_regions == set()
+        assert fresh.disabled_regions == {0}
+
+        # The suppressed region must stay suppressed on the fresh code:
+        # re-running enters no regions and injects no further faults.
+        vm.start_measurement()
+        result = vm.run("work", [100, 0])
+        stats = vm.end_measurement()
+        assert result == expected(program, (100, 0))
+        assert stats.regions_entered == 0
+        assert stats.regions_suppressed > 0
 
     def test_summary_exposes_forward_progress_counters(self):
         program = region_loop_program()
@@ -245,3 +255,95 @@ class TestProgressStateIsolation:
         assert r1 == r2 == expected(program, (50, 0))
         assert stats.region_fallbacks[("work", 0)] == 1
         assert stats.region_fallbacks[("work2", 0)] == 1
+
+
+class TestPredecodeInvalidation:
+    """The pre-decoded dispatch cache must never outlive a forward-progress
+    patch: ``disable_region`` invalidates it, and the rebuilt fast path
+    honours the suppression."""
+
+    def _patched_vm(self, dispatch):
+        program = region_loop_program()
+        hw = BASELINE_4WIDE.scaled(region_retry_budget=0,
+                                   region_fallback_threshold=3)
+        vm = TieredVM(
+            program, compiler_config=ATOMIC, hw_config=hw,
+            options=VMOptions(enable_timing=False, compile_threshold=3,
+                              dispatch=dispatch),
+            fault_plan=FaultPlan.storm("conflict", offset=2),
+        )
+        vm.warm_up("work", [[100, 0]] * 3)
+        vm.compile_hot(min_invocations=1)
+        vm.start_measurement()
+        result = vm.run("work", [100, 0])
+        vm.end_measurement()
+        return program, vm, result
+
+    def test_disable_region_invalidates_predecode_cache(self):
+        program, vm, result = self._patched_vm("predecoded")
+        compiled = vm.compiled["work"].compiled
+        assert result == expected(program, (100, 0))
+        assert compiled.disabled_regions == {0}
+        # The fast path executed this method, then the storm escalated to
+        # a patch: disable_region must have dropped the pre-decoded form.
+        assert compiled._predecoded is None
+
+        # The next fast-path run rebuilds the cache against the patched
+        # region table: no region entries, correct result.
+        vm.start_measurement()
+        again = vm.run("work", [100, 0])
+        stats = vm.end_measurement()
+        assert again == result
+        assert stats.regions_entered == 0
+        assert stats.regions_suppressed > 0
+        assert compiled._predecoded is not None
+
+    def test_patched_fast_and_slow_paths_agree(self):
+        """Post-patch behaviour is dispatch-invariant: the suppressed
+        region suppresses identically either way."""
+        outcomes = {}
+        for dispatch in ("predecoded", "interpretive"):
+            program, vm, result = self._patched_vm(dispatch)
+            vm.start_measurement()
+            again = vm.run("work", [100, 0])
+            stats = vm.end_measurement()
+            outcomes[dispatch] = (result, again, stats.summary())
+        assert outcomes["predecoded"] == outcomes["interpretive"]
+
+    def test_adaptive_recompile_keeps_regions_quiet(self):
+        """An AdaptiveController recompile after an assert storm must not
+        resurrect aborting regions — across the recompile *and* the fresh
+        pre-decode cache, the method stays on the non-speculative path."""
+        from repro.vm import AdaptiveController
+
+        program = region_loop_program()
+        # Genuine assert aborts: the cold path (every iteration, trip=1)
+        # was never profiled, so its branch became a region assert.
+        hw = BASELINE_4WIDE.scaled(region_fallback_threshold=None)
+        vm = TieredVM(
+            program, compiler_config=ATOMIC, hw_config=hw,
+            options=VMOptions(enable_timing=False, compile_threshold=3,
+                              dispatch="predecoded"),
+        )
+        vm.warm_up("work", [[100, 0]] * 3)
+        vm.compile_hot(min_invocations=1)
+        vm.start_measurement()
+        first = vm.run("work", [60, 1])
+        stats = vm.end_measurement()
+        assert first == expected(program, (60, 1))
+        assert stats.abort_reasons["assert"] > 0
+
+        controller = AdaptiveController(
+            vm, abort_rate_threshold=0.01, min_region_entries=1,
+        )
+        decisions = controller.poll()
+        assert decisions, "the assert storm must trigger a recompile"
+        assert decisions[0].method == "work"
+
+        # Post-recompile: same results, and the offending assert is gone —
+        # no aborts on the rebuilt (and freshly pre-decoded) code.
+        vm.start_measurement()
+        again = vm.run("work", [60, 1])
+        stats = vm.end_measurement()
+        assert again == first
+        assert stats.regions_aborted == 0

@@ -1,0 +1,246 @@
+"""Unit coverage for the data-cache model (hw/cache.py).
+
+The cache was previously exercised only through whole-workload timing
+runs; these tests pin the edge cases directly: set-index aliasing across
+the spill-frame address region, deterministic true-LRU eviction order,
+the two-level latency composition, and the line math the atomic-region
+read/write sets share with the hierarchy at region boundaries.
+"""
+
+import pytest
+
+from repro.hw import BASELINE_4WIDE
+from repro.hw.cache import CacheLevel, MemoryHierarchy
+from repro.hw.config import CacheConfig, HardwareConfig
+from repro.hw.machine import CODE_BASE, SPILL_BASE
+
+#: tiny direct-mapped-ish level: 4 sets x 2 ways of 64-byte lines.
+TINY = CacheConfig(size_bytes=512, ways=2, line_bytes=64, hit_cycles=4)
+
+
+class TestLineMath:
+    def test_line_shift_matches_line_bytes(self):
+        assert CacheLevel(TINY).line_shift == 6
+        assert CacheLevel(CacheConfig(1024, 2, 128, 4)).line_shift == 7
+
+    def test_addresses_within_one_line_hit(self):
+        level = CacheLevel(TINY)
+        assert not level.access(0x1000)       # cold miss
+        for offset in (0, 1, 8, 63):          # every byte of the line
+            assert level.access(0x1000 + offset)
+        assert level.hits == 4
+        assert level.misses == 1
+
+    def test_line_boundary_is_a_new_line(self):
+        level = CacheLevel(TINY)
+        level.access(0x1000 + 63)             # last byte of line
+        assert not level.access(0x1000 + 64)  # first byte of the next
+
+    def test_hierarchy_line_of_matches_machine_line_shift(self):
+        """The machine's region read/write sets (addr >> line_shift) and
+        the hierarchy must agree on what a line is, or footprint-overflow
+        aborts would be checked against the wrong granularity."""
+        hierarchy = MemoryHierarchy(BASELINE_4WIDE)
+        shift = BASELINE_4WIDE.line_shift
+        for address in (0, 63, 64, CODE_BASE, SPILL_BASE, SPILL_BASE + 8):
+            assert hierarchy.line_of(address) == address >> shift
+
+
+class TestSpillFrameAliasing:
+    """Spill frames live at SPILL_BASE + n*0x10000; 0x10000 is a multiple
+    of every set count here, so consecutive frames' slot-0 addresses alias
+    to the same set and compete for its ways."""
+
+    def test_spill_frames_alias_to_one_set(self):
+        level = CacheLevel(TINY)
+        frames = [SPILL_BASE + n * 0x10000 for n in range(4)]
+        lines = [a >> level.line_shift for a in frames]
+        sets = {line & level.set_mask for line in lines}
+        assert len(set(lines)) == 4           # distinct lines...
+        assert len(sets) == 1                 # ...one set: true aliasing
+
+    def test_aliased_frames_evict_each_other(self):
+        level = CacheLevel(TINY)
+        a, b, c = (SPILL_BASE + n * 0x10000 for n in range(3))
+        level.access(a)
+        level.access(b)                       # set now holds [a, b]
+        assert not level.access(c)            # third alias: a evicted
+        assert not level.contains(a)
+        assert level.contains(b)
+        assert level.contains(c)
+
+    def test_code_and_spill_regions_do_not_collide_on_lines(self):
+        level = CacheLevel(TINY)
+        assert (CODE_BASE >> level.line_shift) != (
+            SPILL_BASE >> level.line_shift)
+
+
+class TestEvictionOrderDeterminism:
+    def test_true_lru_evicts_least_recent(self):
+        level = CacheLevel(TINY)
+        set_stride = (level.set_mask + 1) << level.line_shift
+        a, b = 0x0, set_stride * 4            # same set, different lines
+        level.access(a)
+        level.access(b)
+        level.access(a)                       # a is now most recent
+        level.access(set_stride * 8)          # evicts b, not a
+        assert level.contains(a)
+        assert not level.contains(b)
+
+    def test_identical_access_sequences_identical_state(self):
+        sequence = [0x0, 0x1000, 0x40, SPILL_BASE, 0x1000, SPILL_BASE + 64,
+                    0x0, 0x2000, SPILL_BASE, 0x1040]
+        one, two = CacheLevel(TINY), CacheLevel(TINY)
+        for address in sequence:
+            one.access(address)
+            two.access(address)
+        assert one.sets == two.sets
+        assert (one.hits, one.misses) == (two.hits, two.misses)
+
+    def test_invalidate_removes_only_the_line(self):
+        level = CacheLevel(TINY)
+        set_stride = (level.set_mask + 1) << level.line_shift
+        a, b = 0x0, set_stride
+        level.access(a)
+        level.access(b)
+        level.invalidate(a)
+        assert not level.contains(a)
+        assert level.contains(b)
+        level.invalidate(a)                   # idempotent on absent lines
+        assert level.contains(b)
+
+
+class TestHierarchyLatencies:
+    def test_latency_composition(self):
+        hw = HardwareConfig()
+        hierarchy = MemoryHierarchy(hw)
+        l1 = hw.l1_config.hit_cycles
+        l2 = hw.l2_config.hit_cycles
+        mem = hw.memory_latency_cycles
+        assert hierarchy.access(0x5000) == l1 + l2 + mem  # cold: memory
+        assert hierarchy.access(0x5000) == l1             # hot in L1
+        hierarchy.l1.invalidate(0x5000)
+        assert hierarchy.access(0x5000) == l1 + l2        # L2 holds it
+
+    def test_miss_rate_accounting(self):
+        hierarchy = MemoryHierarchy(HardwareConfig())
+        assert hierarchy.l1_miss_rate == 0.0              # no accesses yet
+        hierarchy.access(0x0)
+        hierarchy.access(0x0)
+        hierarchy.access(0x0)
+        assert hierarchy.accesses == 3
+        assert hierarchy.l1_miss_rate == pytest.approx(1 / 3)
+
+
+def _region_loop_program(stores_per_iter: int, stride_elems: int):
+    """A hot loop with a never-taken cold path (so region formation has a
+    speculation benefit) whose body stores to ``stores_per_iter`` addresses
+    ``stride_elems`` elements apart — spreading one iteration's write set
+    across that many cache lines."""
+    from repro.lang import ProgramBuilder
+
+    pb = ProgramBuilder()
+    pb.cls("Acc", fields=["total", "spill"])
+    m = pb.method("work", params=("n",))
+    n = m.param(0)
+    acc = m.new("Acc")
+    arr = m.newarr(m.const(stores_per_iter * stride_elems + 1))
+    i = m.const(0)
+    one = m.const(1)
+    zero = m.const(0)
+    m.label("head")
+    m.safepoint()
+    m.br("ge", i, n, "done")
+    t = m.getfield(acc, "total")
+    m.putfield(acc, "total", m.add(t, i))
+    for k in range(stores_per_iter):
+        idx = m.add(zero, m.const(k * stride_elems))
+        m.astore(arr, idx, i)
+    m.br("lt", i, zero, "cold")               # never taken: becomes assert
+    m.jmp("next")
+    m.label("cold")
+    s = m.getfield(acc, "spill")
+    m.putfield(acc, "spill", m.add(s, one))
+    m.label("next")
+    m.add(i, one, dst=i)
+    m.jmp("head")
+    m.label("done")
+    m.ret(m.getfield(acc, "total"))
+    return pb.build()
+
+
+def _run_region_loop(program, hw, n):
+    from repro.vm import ATOMIC, TieredVM, VMOptions
+
+    vm = TieredVM(
+        program, compiler_config=ATOMIC, hw_config=hw,
+        options=VMOptions(enable_timing=False, compile_threshold=3),
+    )
+    vm.warm_up("work", [[200]] * 3)
+    vm.compile_hot(min_invocations=1)
+    vm.start_measurement()
+    result = vm.run("work", [n])
+    stats = vm.end_measurement()
+    return result, stats
+
+
+class TestRegionBoundaryLineSets:
+    """The read/write sets a region tracks are exactly the lines the
+    hierarchy would see: one entry per touched line, split at the 64-byte
+    boundary — and the footprint-overflow bound meters lines, not stores."""
+
+    def test_region_write_set_uses_l1_line_granularity(self):
+        # 4 stores per iteration, all within one 64-byte line (8-byte
+        # elements, stride 1): the write set must count one line for all
+        # four, not one per store.
+        program = _region_loop_program(stores_per_iter=4, stride_elems=1)
+        result, stats = _run_region_loop(program, BASELINE_4WIDE, n=24)
+        assert result == sum(range(24))
+        assert stats.regions_committed > 0
+        assert stats.region_lines, "committed regions must record lines"
+        # footprint: the one shared array line + object/spill lines — far
+        # fewer than the ~4 stores/iteration would suggest at byte
+        # granularity.
+        assert max(stats.region_lines) <= 8
+
+    def test_region_lines_grow_with_line_spread(self):
+        """Same store count, spread across one line per store: the
+        recorded footprint must grow by roughly the spread, pinning
+        ``addr >> line_shift`` (not address or byte counting) as the
+        set granularity."""
+        dense = _region_loop_program(stores_per_iter=6, stride_elems=1)
+        sparse = _region_loop_program(stores_per_iter=6, stride_elems=8)
+        _, dense_stats = _run_region_loop(dense, BASELINE_4WIDE, n=24)
+        _, sparse_stats = _run_region_loop(sparse, BASELINE_4WIDE, n=24)
+        assert dense_stats.regions_committed > 0
+        assert sparse_stats.regions_committed > 0
+        # 6 stores x 8-element stride = 6 distinct 64-byte lines vs 1.
+        assert max(sparse_stats.region_lines) >= max(
+            dense_stats.region_lines) + 4
+
+    def test_footprint_overflow_at_region_boundary(self):
+        """A region touching more distinct lines than region_line_limit
+        aborts with reason "overflow" at retirement and resumes on the
+        non-speculative path — with an unchanged guest result."""
+        program = _region_loop_program(stores_per_iter=24, stride_elems=8)
+        hw = BASELINE_4WIDE.scaled(region_line_limit=16,
+                                   region_fallback_threshold=None)
+        result, stats = _run_region_loop(program, hw, n=24)
+        assert result == sum(range(24))
+        assert stats.regions_entered > 0
+        assert stats.abort_reasons.get("overflow", 0) > 0
+        # every abort in this run is a footprint overflow, and the
+        # wide-footprint loop regions all abort (any committed regions are
+        # line-free stragglers like the method epilogue).
+        assert stats.abort_reasons.get("overflow", 0) == stats.regions_aborted
+        assert stats.regions_aborted > stats.regions_committed
+        assert all(lines == 0 for lines in stats.region_lines)
+        # Control: the same program under the baseline 448-line limit
+        # commits every region.
+        control, control_stats = _run_region_loop(
+            _region_loop_program(stores_per_iter=24, stride_elems=8),
+            BASELINE_4WIDE, n=24,
+        )
+        assert control == result
+        assert control_stats.regions_committed > 0
+        assert control_stats.abort_reasons.get("overflow", 0) == 0

@@ -1,0 +1,158 @@
+"""Golden-file tests for the plain-text report renderers.
+
+Every renderer in ``harness/report.py`` is compared byte-for-byte against
+a checked-in expected output under ``tests/golden/``.  The inputs are
+hand-built and fully deterministic — these tests pin the *formatting*
+(alignment, column sizing, averages row, omission markers, trailer
+columns), not experiment values, so a renderer change that silently
+reflows every published table fails here first.
+
+To intentionally change a format, regenerate with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_report_golden.py
+
+and commit the updated golden files with the renderer change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import (
+    ConcurrencyCheck,
+    ConcurrencyReport,
+    render,
+    render_all,
+    render_concurrency,
+    render_timeline,
+)
+from repro.harness.figures import FigureData
+from repro.hw.stats import ExecStats
+from repro.obs.tracer import TraceEvent
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def assert_matches_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual + "\n")
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden file {path}; run with REGEN_GOLDEN=1 to create it"
+    )
+    expected = path.read_text()[:-1]  # strip the trailing newline we add
+    assert actual == expected, (
+        f"{name} drifted from the checked-in golden output; if the new "
+        f"format is intentional, regenerate with REGEN_GOLDEN=1"
+    )
+
+
+def _figure() -> FigureData:
+    """A Figure-7-shaped table: floats, several benches, a note."""
+    data = FigureData(
+        title="figure 7: speedup over no-atomic baseline",
+        columns=["no-atomic", "atomic", "no-atomic+aggr", "atomic+aggr"],
+    )
+    data.add("fop", [1.0, 1.0724, 1.1318, 1.25])
+    data.add("hsqldb", [1.0, 1.11, 1.2, 1.3391])
+    data.add("xalan", [1.0, 1.05, 1.155, 1.28])
+    data.notes.append("geomean-free: arithmetic average row")
+    return data
+
+
+def _mixed_figure() -> FigureData:
+    """Integer cells and a single row (no averages line)."""
+    data = FigureData(
+        title="table 3: dynamic region characteristics",
+        columns=["regions", "median uops", "p90 lines"],
+    )
+    data.add("jython", [412, 88, 14])
+    return data
+
+
+def _concurrency_report() -> ConcurrencyReport:
+    def stats(switches, real, injected, contended, per_thread):
+        s = ExecStats()
+        s.context_switches = switches
+        s.real_conflict_aborts = real
+        s.injected_conflict_aborts = injected
+        s.contended_acquisitions = contended
+        s.uops_by_thread.update(per_thread)
+        return s
+
+    passing = ConcurrencyCheck(
+        workload="counter_contention", seed=7, threads=3,
+        serializable=True, replay_identical=True,
+        heap_matches_interpreter=True, locks_quiescent=True,
+        serial_order=(2, 0, 1),
+        stats=stats(11, 2, 0, 5, {0: 1200, 1: 980, 2: 1040}),
+    )
+    failing = ConcurrencyCheck(
+        workload="counter_contention", seed=13, threads=2,
+        serializable=False, replay_identical=True,
+        heap_matches_interpreter=False, locks_quiescent=True,
+        serial_order=None,
+        stats=stats(4, 0, 1, 2, {0: 310, 1: 295}),
+        violation="lost update: final count 17 matches no serial order of {18, 19}",
+        trace_path="/tmp/chaos-counter_contention-13.json",
+    )
+    return ConcurrencyReport(checks=[passing, failing])
+
+
+def _events() -> list[TraceEvent]:
+    return [
+        TraceEvent(ts=100, kind="tier_compile", tid=0,
+                   args=(("method", "main"), ("regions", 2))),
+        TraceEvent(ts=164, kind="region_enter", tid=0,
+                   args=(("method", "main"), ("region", 0))),
+        TraceEvent(ts=219, kind="region_abort", tid=0,
+                   args=(("reason", "assert"), ("region", 0), ("uops", 55))),
+        TraceEvent(ts=240, kind="region_enter", tid=1,
+                   args=(("method", "main"), ("region", 0))),
+        TraceEvent(ts=301, kind="region_commit", tid=1,
+                   args=(("lines", 6), ("region", 0), ("uops", 61))),
+        TraceEvent(ts=355, kind="ctx_switch", tid=1, args=(("to", 0),)),
+    ]
+
+
+class TestFigureTables:
+    def test_aligned_table_with_averages(self):
+        assert_matches_golden("figure_table.txt", render(_figure()))
+
+    def test_single_row_no_averages(self):
+        assert_matches_golden("figure_single_row.txt",
+                              render(_mixed_figure()))
+
+    def test_custom_width(self):
+        assert_matches_golden("figure_wide.txt", render(_figure(), width=14))
+
+    def test_render_all_joins_with_blank_line(self):
+        assert_matches_golden(
+            "figure_all.txt", render_all([_figure(), _mixed_figure()])
+        )
+
+
+class TestConcurrencyReport:
+    def test_mixed_pass_fail_sweep(self):
+        assert_matches_golden(
+            "concurrency_report.txt", render_concurrency(_concurrency_report())
+        )
+
+
+class TestTimeline:
+    def test_full_timeline(self):
+        assert_matches_golden("timeline_full.txt", render_timeline(_events()))
+
+    def test_limited_timeline_notes_omissions(self):
+        assert_matches_golden(
+            "timeline_limited.txt",
+            render_timeline(_events(), limit=3, title="last 3 events"),
+        )
+
+    def test_empty_timeline(self):
+        assert_matches_golden("timeline_empty.txt", render_timeline([]))
