@@ -39,8 +39,12 @@ class RegionFaultSchedule:
     exception_at: int | None = None
     #: shrunken best-effort capacity (min'd with the config's line limit).
     line_limit: int | None = None
+    #: shrunken speculative store buffer (min'd with the config's
+    #: ``spec_store_buffer_entries``; effective under every ``htm_mode``).
+    store_limit: int | None = None
 
-    def merge(self, kind: str, offset: int, line_limit: int | None) -> None:
+    def merge(self, kind: str, offset: int, line_limit: int | None,
+              store_limit: int | None = None) -> None:
         if kind == "conflict":
             self.conflict_at = _min_opt(self.conflict_at, offset)
         elif kind == "assert":
@@ -50,6 +54,9 @@ class RegionFaultSchedule:
         elif kind == "overflow":
             limit = line_limit if line_limit is not None else 0
             self.line_limit = _min_opt(self.line_limit, limit)
+        elif kind == "capacity":
+            limit = store_limit if store_limit is not None else 0
+            self.store_limit = _min_opt(self.store_limit, limit)
 
 
 def _min_opt(current: int | None, new: int) -> int:
@@ -128,17 +135,20 @@ class FaultInjector:
         self.regions_seen += 1
         sched = RegionFaultSchedule()
         for event in self._storm_events:
-            sched.merge(event.kind, event.offset, event.line_limit)
+            sched.merge(event.kind, event.offset, event.line_limit,
+                        event.store_limit)
             self.scheduled[event.kind] += 1
         for event in self._indexed_events.pop(index, ()):
-            sched.merge(event.kind, event.offset, event.line_limit)
+            sched.merge(event.kind, event.offset, event.line_limit,
+                        event.store_limit)
             self.scheduled[event.kind] += 1
         if self._rng is not None and self.plan.region_rates:
             lo, hi = self.plan.offset_range
             for kind, rate in self.plan.region_rates:
                 if self._rng.random() < rate:
                     offset = self._rng.randint(lo, hi)
-                    sched.merge(kind, offset, self.plan.capacity_lines)
+                    sched.merge(kind, offset, self.plan.capacity_lines,
+                                self.plan.capacity_stores)
                     self.scheduled[kind] += 1
         if self.conflict_callback is not None:
             offset = self.conflict_callback(record)
@@ -160,6 +170,9 @@ class FaultInjector:
             if sched.line_limit is not None:
                 tracer.fault_armed(ts, 0, "overflow", index,
                                    line_limit=sched.line_limit)
+            if sched.store_limit is not None:
+                tracer.fault_armed(ts, 0, "capacity", index,
+                                   store_limit=sched.store_limit)
         return sched
 
     def take_interrupt(self, uops_executed: int) -> bool:

@@ -34,11 +34,15 @@ def derive_seed(seed: int, stream: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 #: Every injectable abort reason, matching the machine's abort-reason
-#: register values ("overflow" is the capacity-pressure fault).
-FAULT_KINDS = ("interrupt", "conflict", "overflow", "assert", "exception")
+#: register values ("overflow" is line-set capacity pressure against the
+#: idealized substrate's bound; "capacity" is the best-effort HTM bound —
+#: a shrunken speculative store buffer).
+FAULT_KINDS = (
+    "interrupt", "conflict", "overflow", "assert", "exception", "capacity",
+)
 
 #: Kinds scheduled relative to a region entry (everything but interrupts).
-REGION_KINDS = ("conflict", "overflow", "assert", "exception")
+REGION_KINDS = ("conflict", "overflow", "assert", "exception", "capacity")
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,9 @@ class FaultEvent:
     - ``kind="overflow"`` uses ``line_limit`` to shrink the best-effort
       capacity for the targeted region (capacity pressure), forcing the
       existing overflow abort path.
+    - ``kind="capacity"`` uses ``store_limit`` to shrink the speculative
+      store buffer for the targeted region, forcing the best-effort HTM
+      "capacity" abort path regardless of the configured ``htm_mode``.
     """
 
     kind: str
@@ -61,6 +68,7 @@ class FaultEvent:
     region_index: int | None = None
     offset: int = 1
     line_limit: int | None = None
+    store_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -96,6 +104,9 @@ class FaultPlan:
     offset_range: tuple[int, int] = (1, 48)
     #: line limit imposed by seeded capacity-pressure faults.
     capacity_lines: int = 16
+    #: store-buffer limit imposed by seeded "capacity" faults (0 = the
+    #: first buffered store already overflows).
+    capacity_stores: int = 0
 
     def __post_init__(self) -> None:
         for kind, rate in self.region_rates:
@@ -122,19 +133,20 @@ class FaultPlan:
 
     @classmethod
     def single(cls, kind: str, *, region_index: int = 0, offset: int = 1,
-               at_uop: int | None = None,
-               line_limit: int | None = None) -> "FaultPlan":
+               at_uop: int | None = None, line_limit: int | None = None,
+               store_limit: int | None = None) -> "FaultPlan":
         """One fault of ``kind`` on one region entry (or uop threshold)."""
         if kind == "interrupt":
             return cls(events=(FaultEvent(kind, at_uop=at_uop),))
         return cls(events=(FaultEvent(
             kind, region_index=region_index, offset=offset,
-            line_limit=line_limit,
+            line_limit=line_limit, store_limit=store_limit,
         ),))
 
     @classmethod
     def storm(cls, kind: str = "conflict", offset: int = 2,
-              line_limit: int | None = None) -> "FaultPlan":
+              line_limit: int | None = None,
+              store_limit: int | None = None) -> "FaultPlan":
         """A perpetual abort storm: ``kind`` fires in *every* region entry.
 
         This is the adversarial schedule the forward-progress machinery
@@ -146,8 +158,11 @@ class FaultPlan:
                              "interrupt_interval instead")
         if kind == "overflow" and line_limit is None:
             line_limit = 0
+        if kind == "capacity" and store_limit is None:
+            store_limit = 0
         return cls(events=(FaultEvent(
             kind, region_index=None, offset=offset, line_limit=line_limit,
+            store_limit=store_limit,
         ),))
 
     @classmethod
@@ -159,17 +174,25 @@ class FaultPlan:
         assert_rate: float = 0.03,
         exception_rate: float = 0.02,
         overflow_rate: float = 0.01,
+        capacity_rate: float = 0.0,
         interrupt_gap: tuple[int, int] | None = (4_000, 12_000),
         offset_range: tuple[int, int] = (1, 48),
         capacity_lines: int = 2,
+        capacity_stores: int = 0,
     ) -> "FaultPlan":
-        """The chaos-mode default: every fault kind, seeded and repeatable."""
+        """The chaos-mode default: every fault kind, seeded and repeatable.
+
+        ``capacity_rate`` defaults to 0.0 so pre-existing seeded streams
+        stay byte-identical (zero-rate kinds are dropped from the tuple
+        and never draw from the rng); HTM-realism sweeps opt in.
+        """
         rates = tuple(sorted(
             (kind, rate) for kind, rate in (
                 ("conflict", conflict_rate),
                 ("assert", assert_rate),
                 ("exception", exception_rate),
                 ("overflow", overflow_rate),
+                ("capacity", capacity_rate),
             ) if rate > 0.0
         ))
         return cls(
@@ -178,6 +201,7 @@ class FaultPlan:
             interrupt_gap=interrupt_gap,
             offset_range=offset_range,
             capacity_lines=capacity_lines,
+            capacity_stores=capacity_stores,
         )
 
     # -- properties ---------------------------------------------------------

@@ -22,6 +22,7 @@ from .figures import (
     figure7,
     figure8,
     figure9,
+    figure_htm_variants,
     section62,
     section63,
     section7_adaptive,
@@ -53,6 +54,7 @@ __all__ = [
     "figure8",
     "figure9",
     "figure_cells",
+    "figure_htm_variants",
     "prewarm_figures",
     "render",
     "render_all",

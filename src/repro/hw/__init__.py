@@ -4,20 +4,38 @@ from .branchpred import CombiningPredictor
 from .cache import CacheLevel, MemoryHierarchy
 from .codegen import CodeGenerator, generate_code, lower_phis, split_critical_edges
 from .config import (
+    ABORT_DELIVERY_MODES,
     BASELINE_4WIDE,
     CHKPT_20CYCLE,
     CHKPT_SINGLE_INFLIGHT,
     CacheConfig,
+    FALLBACK_LOCK_MODES,
+    HTM_CACHE_SHAPED,
+    HTM_FALLBACK_LOCK_BEGIN,
+    HTM_FALLBACK_LOCK_END,
+    HTM_MODES,
+    HTM_ROCK_STORE_BUFFER,
+    HTM_SETJMP_DELIVERY,
     HardwareConfig,
     OOO_2WIDE,
     OOO_2WIDE_HALF,
+    htm_variant_configs,
 )
-from .isa import CompiledMethod, MInstr, MOp
+from .isa import (
+    ABORT_REASON_CODES,
+    HW_ESCALATION_REASONS,
+    RETRYABLE_REASONS,
+    CompiledMethod,
+    MInstr,
+    MOp,
+)
 from .machine import Machine
 from .stats import ExecStats, RegionExecution
 from .timing import INTERPRETER_CYCLES_PER_BYTECODE, TimingModel
 
 __all__ = [
+    "ABORT_DELIVERY_MODES",
+    "ABORT_REASON_CODES",
     "BASELINE_4WIDE",
     "CHKPT_20CYCLE",
     "CHKPT_SINGLE_INFLIGHT",
@@ -27,6 +45,14 @@ __all__ = [
     "CombiningPredictor",
     "CompiledMethod",
     "ExecStats",
+    "FALLBACK_LOCK_MODES",
+    "HTM_CACHE_SHAPED",
+    "HTM_FALLBACK_LOCK_BEGIN",
+    "HTM_FALLBACK_LOCK_END",
+    "HTM_MODES",
+    "HTM_ROCK_STORE_BUFFER",
+    "HTM_SETJMP_DELIVERY",
+    "HW_ESCALATION_REASONS",
     "HardwareConfig",
     "INTERPRETER_CYCLES_PER_BYTECODE",
     "MInstr",
@@ -35,9 +61,11 @@ __all__ = [
     "MemoryHierarchy",
     "OOO_2WIDE",
     "OOO_2WIDE_HALF",
+    "RETRYABLE_REASONS",
     "RegionExecution",
     "TimingModel",
     "generate_code",
+    "htm_variant_configs",
     "lower_phis",
     "split_critical_edges",
 ]

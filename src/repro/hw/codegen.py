@@ -1466,6 +1466,19 @@ def _make_handler(compiled: CompiledMethod, instr: MInstr, pc: int,
             st.uops_retired += 1
             if fr.region is not None:
                 raise VMError("nested aregion_begin")
+            if mach._pending_cc:
+                code = mach._pending_cc.pop(fr.tid, None)
+                if code is not None:
+                    # setjmp-style delivery: branch to the software path.
+                    mach.condition_code_register = code
+                    st.setjmp_deliveries += 1
+                    timing = fr.timing
+                    if timing is not None:
+                        timing.uop(instr, None)
+                    return target
+            mach.condition_code_register = 0
+            if mach._fallback_holds:
+                mach._release_fallback_lock(fr.tid)
             if rid in fr.compiled.disabled_regions:
                 # Patched to permanent non-speculative fallback.
                 st.regions_suppressed += 1
@@ -1499,6 +1512,19 @@ def _make_handler(compiled: CompiledMethod, instr: MInstr, pc: int,
             region.uops += 1
             region.record.uops += 1
             if mach._real_conflict(region):
+                region.real_conflict = True
+                timing = fr.timing
+                if timing is not None:
+                    timing.uop(instr, None)
+                pc2 = mach._do_abort(
+                    fr.compiled, region, "conflict", fr.code_base + mypc,
+                    None, fr.regs, fr.spill,
+                )
+                fr.region = None
+                return pc2
+            if (mach._fallback_mode == "end"
+                    and mach.fallback_lock.held_by_other(fr.tid)):
+                # Sandboxed commit-instant validation of the fallback lock.
                 region.real_conflict = True
                 timing = fr.timing
                 if timing is not None:
@@ -1588,13 +1614,16 @@ def _make_handler(compiled: CompiledMethod, instr: MInstr, pc: int,
     if op is MOp.RET:
 
         def h_ret(fr):
-            fr.machine.uops_executed += 1
+            mach = fr.machine
+            mach.uops_executed += 1
             fr.stats.uops_retired += 1
             region = fr.region
             if region is not None:
                 region.uops += 1
                 region.record.uops += 1
                 raise VMError("return inside an atomic region")
+            if mach._fallback_holds:
+                mach._release_fallback_lock(fr.tid)
             timing = fr.timing
             if timing is not None:
                 timing.uop(instr, None)

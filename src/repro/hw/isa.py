@@ -16,6 +16,18 @@ The atomic-region extensions follow §3.2 of the paper exactly:
   the abort reason and the aborting instruction's PC are exposed to software
   through two registers (modeled as fields on the machine), which is what
   enables adaptive recompilation.
+
+Abort *delivery* additionally comes in two commercial-ISA flavours
+(selected by :attr:`repro.hw.config.HardwareConfig.abort_delivery`):
+
+- **handler** (Intel RTM-style): control lands on the alternate PC with
+  the numeric reason code (:data:`ABORT_REASON_CODES`) and a retry hint
+  (:data:`RETRYABLE_REASONS`) in architectural registers — the handler's
+  "argument";
+- **setjmp** (Power/z-style): control re-lands on the ``AREGION_BEGIN``
+  itself with a condition code set; the begin then branches to the
+  software path instead of opening a region, like a ``tbegin.`` that
+  "returns twice".
 """
 
 from __future__ import annotations
@@ -85,6 +97,34 @@ LOAD_MOPS = frozenset({
 STORE_MOPS = frozenset({MOp.STOREF, MOp.STOREA, MOp.STORELOCK, MOp.STORESPILL})
 
 BRANCH_MOPS = frozenset({MOp.BR, MOp.BR_TRAP, MOp.BR_ABORT, MOp.JMP})
+
+#: Architectural abort-reason encoding (the value software sees in the
+#: abort-code register / setjmp condition code; 0 means "no abort").
+ABORT_REASON_CODES = {
+    "assert": 1,
+    "exception": 2,
+    "sle": 3,
+    "conflict": 4,
+    "overflow": 5,
+    "interrupt": 6,
+    "capacity": 7,
+}
+
+#: Reasons for which the hardware hints that a retry may succeed (the
+#: RTM ``_XABORT_RETRY`` analog): transient conditions only.  Capacity and
+#: overflow are *deterministic* for a given region footprint — retrying
+#: the same region against the same bound re-aborts — so they hint "take
+#: the software path".
+RETRYABLE_REASONS = frozenset({"conflict", "interrupt"})
+
+#: Hardware-originated reasons that escalate to the global fallback lock
+#: (when a fallback mode is configured): the region cannot make progress
+#: speculatively, so its recovery pass serializes.  Software-originated
+#: aborts (assert/exception/sle) re-execute their precise slow path and
+#: need no mutual exclusion.
+HW_ESCALATION_REASONS = frozenset(
+    {"conflict", "overflow", "interrupt", "capacity"}
+)
 
 #: Execution latencies for non-memory uops (cycles).
 ALU_LATENCY = {

@@ -32,10 +32,17 @@ from ..runtime.errors import (
 )
 from ..runtime.heap import GuestArray, GuestObject, Heap, Value
 from ..runtime.interpreter import compare, guest_div, guest_mod, wrap_int
-from ..runtime.locks import MAIN_THREAD
+from ..runtime.locks import FALLBACK_LOCK_ADDRESS, MAIN_THREAD, LockWord
 from .codegen import ExecFrame, _trap_error, get_predecoded, machine_compare
 from .config import BASELINE_4WIDE, HardwareConfig
-from .isa import CompiledMethod, MInstr, MOp
+from .isa import (
+    ABORT_REASON_CODES,
+    HW_ESCALATION_REASONS,
+    RETRYABLE_REASONS,
+    CompiledMethod,
+    MInstr,
+    MOp,
+)
 from .stats import ExecStats, RegionExecution
 
 #: base simulated address for compiled code (pc = code base + index).
@@ -77,6 +84,13 @@ class _RegionState:
     #: True when the abort was a *genuine* cross-thread conflict (store-set
     #: overlap or a contended monitor), not an injected one.
     real_conflict: bool = False
+    #: cache-shaped capacity memo: combined line count at the last per-set
+    #: check and its verdict (line sets only grow, so an unchanged count
+    #: means the occupancy map is unchanged and the recount can be skipped).
+    cap_seen: int = -1
+    cap_over: bool = False
+    #: which capacity bound tripped: (mode, used, limit) for the tracer.
+    capacity_detail: tuple | None = None
 
 
 #: canonical branch-condition semantics live in :mod:`repro.hw.codegen`
@@ -155,6 +169,28 @@ class Machine:
         #: architectural abort-diagnosis registers (paper §3.2).
         self.abort_reason_register: str | None = None
         self.abort_pc_register: int | None = None
+        #: best-effort HTM shape, precomputed (checked per retired uop).
+        self._store_bound = (config.spec_store_buffer_entries
+                             if config.htm_mode == "store_buffer" else None)
+        self._cache_shaped = config.htm_mode == "cache_shaped"
+        self._l1_sets = config.l1_config.num_sets
+        self._l1_ways = config.l1_config.ways
+        self._fallback_mode = config.fallback_lock_mode
+        self._setjmp = config.abort_delivery == "setjmp"
+        #: the global hybrid fallback lock and per-thread hold counts; a
+        #: recovery pass that escalated holds the lock until control next
+        #: reaches an ``aregion_begin`` (or the method returns).
+        self.fallback_lock = LockWord()
+        self._fallback_holds: Counter = Counter()
+        #: setjmp-style delivery: condition code pending at the next
+        #: ``aregion_begin``, *per thread* so a context switch between the
+        #: abort and the re-landed begin cannot leak the code across tids.
+        self._pending_cc: dict[int, int] = {}
+        #: architectural condition code the re-landed begin exposes.
+        self.condition_code_register = 0
+        #: RTM-style handler "arguments": numeric reason code + retry hint.
+        self.abort_code_register = 0
+        self.abort_retry_hint_register = False
         #: global uop counter (drives interrupt injection).
         self.uops_executed = 0
         #: forward progress: consecutive software-visible aborts per region
@@ -412,6 +448,22 @@ class Machine:
                 elif op is MOp.AREGION_BEGIN:
                     if region is not None:
                         raise VMError("nested aregion_begin")
+                    if self._pending_cc:
+                        code = self._pending_cc.pop(tid, None)
+                        if code is not None:
+                            # setjmp-style delivery: the begin "returns
+                            # twice" — re-landed with the condition code
+                            # set, it branches to the software path.
+                            self.condition_code_register = code
+                            stats.setjmp_deliveries += 1
+                            self._tick(instr, mem_address, timing)
+                            pc = instr.target
+                            continue
+                    self.condition_code_register = 0
+                    if self._fallback_holds:
+                        # A serialized recovery pass is complete once
+                        # control is back at a region entry.
+                        self._release_fallback_lock(tid)
                     if instr.imm in compiled.disabled_regions:
                         # Patched to permanent non-speculative fallback:
                         # jump straight to the alternate PC.
@@ -435,6 +487,20 @@ class Machine:
                     # another thread run (and commit stores) since the last
                     # retirement check; a region must not commit over them.
                     if self._real_conflict(region):
+                        region.real_conflict = True
+                        self._tick(instr, mem_address, timing)
+                        pc = self._do_abort(
+                            compiled, region, "conflict", code_base + pc,
+                            None, regs, spill,
+                        )
+                        region = None
+                        continue
+                    if (self._fallback_mode == "end"
+                            and self.fallback_lock.held_by_other(tid)):
+                        # Sandboxed subscription: the region ran blind and
+                        # validates the fallback lock only now, at the
+                        # commit instant; a serialized pass in flight
+                        # means it must not commit over it.
                         region.real_conflict = True
                         self._tick(instr, mem_address, timing)
                         pc = self._do_abort(
@@ -481,6 +547,8 @@ class Machine:
                 elif op is MOp.RET:
                     if region is not None:
                         raise VMError("return inside an atomic region")
+                    if self._fallback_holds:
+                        self._release_fallback_lock(tid)
                     self._tick(instr, mem_address, timing)
                     return regs[instr.a] if instr.a is not None else None
                 else:  # pragma: no cover - exhaustive
@@ -607,6 +675,12 @@ class Machine:
             progress_key=(tid, id(compiled), instr.imm),
             owner_tid=tid,
         )
+        if self._fallback_mode == "begin":
+            # Eager subscription: the fallback lock's line joins the read
+            # set, so any acquisition (a store to that word) conflicts the
+            # region immediately — via the store log cross-thread and via
+            # the retirement-check probe in ``_hw_condition``.
+            region.read_lines.add(FALLBACK_LOCK_ADDRESS >> self._line_shift)
         if self.sched is not None:
             region.log_index = self.sched.region_begin(tid)
         if self.tracer.enabled:
@@ -720,6 +794,12 @@ class Machine:
         if self._real_conflict(region):
             region.real_conflict = True
             return "conflict"
+        if (self._fallback_mode == "begin"
+                and self.fallback_lock.held_by_other(region.owner_tid)):
+            # Begin-time subscription: the region holds the lock's line in
+            # its read set, so an acquisition conflicts it at once.
+            region.real_conflict = True
+            return "conflict"
         line_limit = self.config.region_line_limit
         faults = region.faults
         if faults is not None and faults.line_limit is not None:
@@ -727,6 +807,18 @@ class Machine:
             line_limit = min(line_limit, faults.line_limit)
         if len(region.read_lines) + len(region.write_lines) > line_limit:
             return "overflow"
+        store_bound = self._store_bound
+        if faults is not None and faults.store_limit is not None:
+            # Injected store-buffer pressure (effective in every htm_mode).
+            store_bound = (faults.store_limit if store_bound is None
+                           else min(store_bound, faults.store_limit))
+        if store_bound is not None and len(region.store_buffer) > store_bound:
+            region.capacity_detail = (
+                "store_buffer", len(region.store_buffer), store_bound,
+            )
+            return "capacity"
+        if self._cache_shaped and self._set_overflow(region):
+            return "capacity"
         if faults is not None:
             if faults.assert_at is not None and region.uops >= faults.assert_at:
                 return "assert"
@@ -739,6 +831,86 @@ class Machine:
         if region.conflict_at is not None and region.uops >= region.conflict_at:
             return "conflict"
         return None
+
+    def _set_overflow(self, region: _RegionState) -> bool:
+        """Cache-shaped capacity: do the region's speculative lines fit?
+
+        A tracked line maps to L1 set ``line % num_sets``; more distinct
+        lines in one set than the cache has ways means a tracked line
+        would have to be evicted, which a best-effort HTM cannot survive.
+        Line sets only grow, so the per-set recount is skipped while the
+        combined line count is unchanged since the last check.
+        """
+        seen = len(region.read_lines) + len(region.write_lines)
+        if seen == region.cap_seen:
+            return region.cap_over
+        region.cap_seen = seen
+        num_sets = self._l1_sets
+        ways = self._l1_ways
+        reads = region.read_lines
+        occupancy: Counter = Counter()
+        for line in reads:
+            occupancy[line % num_sets] += 1
+        for line in region.write_lines:
+            if line not in reads:
+                occupancy[line % num_sets] += 1
+        over = False
+        for used in occupancy.values():
+            if used > ways:
+                region.capacity_detail = ("cache_shaped", used, ways)
+                over = True
+                break
+        region.cap_over = over
+        return over
+
+    # -- hybrid fallback lock ------------------------------------------------
+    def _acquire_fallback_lock(self, tid: int) -> None:
+        """Serialize a recovery pass on the global fallback lock.
+
+        Blocks (via the scheduler) while another thread holds the lock;
+        single-threaded machines with a foreign owner cannot ever be
+        released, so they fail fast like contended monitors do.
+        """
+        lock = self.fallback_lock
+        sched = self.sched
+        outcome = lock.enter(tid)
+        while outcome == "blocked":
+            if sched is None:
+                raise MonitorStateError(
+                    f"fallback lock owned by thread {lock.owner} contended "
+                    f"by thread {tid} with no scheduler attached"
+                )
+            self.stats.fallback_lock_waits += 1
+            if self.tracer.enabled:
+                self.tracer.fallback_lock(
+                    self.uops_executed, tid, "wait", lock.depth)
+            sched.block_on(lock)
+            outcome = lock.enter(tid)
+        self._fallback_holds[tid] += 1
+        self.stats.fallback_lock_acquisitions += 1
+        if sched is not None:
+            # The acquisition is a store to the lock word: begin-mode
+            # subscribers holding its line see a real conflict.
+            sched.note_store(FALLBACK_LOCK_ADDRESS)
+        if self.tracer.enabled:
+            self.tracer.fallback_lock(
+                self.uops_executed, tid, "acquire", lock.depth)
+
+    def _release_fallback_lock(self, tid: int) -> None:
+        holds = self._fallback_holds.pop(tid, 0)
+        if not holds:
+            return
+        lock = self.fallback_lock
+        for _ in range(holds):
+            lock.exit(tid)
+        sched = self.sched
+        if sched is not None:
+            sched.note_store(FALLBACK_LOCK_ADDRESS)
+            if lock.owner is None and lock.waiters:
+                sched.wake_all(lock)
+        if self.tracer.enabled:
+            self.tracer.fallback_lock(
+                self.uops_executed, tid, "release", lock.depth)
 
     def _do_abort(
         self,
@@ -774,6 +946,16 @@ class Machine:
                 record.uops, len(region.read_lines),
                 len(region.write_lines),
             )
+            if reason == "capacity":
+                mode, used, limit = (
+                    region.capacity_detail
+                    or ("store_buffer", len(region.store_buffer), 0)
+                )
+                self.tracer.region_capacity(
+                    self.uops_executed, region.owner_tid,
+                    record.region_key[0], region.region_id, mode, used,
+                    limit,
+                )
         sched = self.sched
         if sched is not None:
             sched.region_end(region.owner_tid)
@@ -782,6 +964,8 @@ class Machine:
                 self.stats.real_conflict_aborts += 1
             else:
                 self.stats.injected_conflict_aborts += 1
+        elif reason == "capacity":
+            self.stats.capacity_aborts += 1
         if abort_id is not None:
             self.stats.abort_sites[
                 (compiled.name, region.region_id, abort_id)
@@ -800,6 +984,10 @@ class Machine:
             self.heap.discard_speculative(region.heap_mark, region.allocs)
         self.abort_reason_register = reason
         self.abort_pc_register = abort_pc
+        #: RTM-style handler arguments (set on every abort, including
+        #: transparent retries — the hardware always reports).
+        self.abort_code_register = ABORT_REASON_CODES.get(reason, 0)
+        self.abort_retry_hint_register = reason in RETRYABLE_REASONS
         if sched is not None:
             # Rollback may have released monitors acquired inside the
             # region while other threads were already parked on them.
@@ -841,4 +1029,19 @@ class Machine:
                     self.uops_executed, region.owner_tid,
                     record.region_key[0], region.region_id,
                 )
+        if (self._fallback_mode is not None
+                and reason in HW_ESCALATION_REASONS):
+            # Hybrid escalation: the software-visible recovery pass for a
+            # hardware-originated abort serializes on the fallback lock
+            # (still-speculative regions detect the acquisition and
+            # abort), guaranteeing progress without retry roulette.
+            self._acquire_fallback_lock(region.owner_tid)
+        if self._setjmp:
+            # Power/z-style delivery: re-land on the aregion_begin with
+            # the condition code pending; the begin branches to the
+            # software path instead of opening a region.
+            self._pending_cc[region.owner_tid] = (
+                ABORT_REASON_CODES.get(reason, 0) or 1
+            )
+            return region.begin_pc
         return region.alt_pc

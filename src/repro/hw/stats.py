@@ -62,6 +62,17 @@ class ExecStats:
     regions_suppressed: int = 0
     region_fallbacks: Counter = field(default_factory=Counter)
 
+    #: best-effort HTM realism counters (all zero under the default
+    #: unbounded/no-lock/handler-delivery config).  ``capacity_aborts``
+    #: mirrors ``abort_reasons["capacity"]`` as a flat counter; the
+    #: fallback-lock pair counts hybrid escalations (acquisitions) and
+    #: scheduler parks while contending for the lock; ``setjmp_deliveries``
+    #: counts condition-code deliveries at an ``aregion_begin``.
+    capacity_aborts: int = 0
+    fallback_lock_acquisitions: int = 0
+    fallback_lock_waits: int = 0
+    setjmp_deliveries: int = 0
+
     #: concurrency (deterministic multi-threaded runs; all zero/empty when
     #: threads=1, so single-threaded figures are unaffected).  Conflict
     #: aborts split by provenance: ``real`` = a genuine cross-thread
@@ -167,4 +178,8 @@ class ExecStats:
             "contended_acquisitions": self.contended_acquisitions,
             "context_switches": self.context_switches,
             "threads": max(len(self.uops_by_thread), 1),
+            "capacity_aborts": self.capacity_aborts,
+            "fallback_lock_acquisitions": self.fallback_lock_acquisitions,
+            "fallback_lock_waits": self.fallback_lock_waits,
+            "setjmp_deliveries": self.setjmp_deliveries,
         }

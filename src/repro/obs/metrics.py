@@ -124,7 +124,9 @@ class Metrics:
             "regions_suppressed", "real_conflict_aborts",
             "injected_conflict_aborts", "contended_acquisitions",
             "context_switches", "loads", "stores", "branches", "mispredicts",
-            "monitor_ops", "sle_elisions",
+            "monitor_ops", "sle_elisions", "capacity_aborts",
+            "fallback_lock_acquisitions", "fallback_lock_waits",
+            "setjmp_deliveries",
         ):
             counters[name] = getattr(stats, name)
         counters["unique_regions"] = len(stats.unique_regions)
@@ -174,6 +176,11 @@ class Metrics:
             "contended_acquisitions": self.counter("contended_acquisitions"),
             "context_switches": self.counter("context_switches"),
             "threads": self.counter("threads"),
+            "capacity_aborts": self.counter("capacity_aborts"),
+            "fallback_lock_acquisitions": self.counter(
+                "fallback_lock_acquisitions"),
+            "fallback_lock_waits": self.counter("fallback_lock_waits"),
+            "setjmp_deliveries": self.counter("setjmp_deliveries"),
         }
 
     def snapshot(self) -> dict:

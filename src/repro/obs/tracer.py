@@ -35,10 +35,15 @@ from dataclasses import dataclass
 #: - ``region_retry``    — method, region, attempt, backoff_cycles
 #: - ``region_fallback`` — method, region (patched to non-speculative code)
 #: - ``region_suppressed`` — method, region (entry skipped: already patched)
+#: - ``region_capacity`` — method, region, mode, used, limit (a best-effort
+#:                         HTM capacity abort: which bound tripped, and how)
+#: - ``fallback_lock``   — op ("acquire"/"release"/"wait"), depth (the
+#:                         hybrid fallback lock's escalation traffic)
 #: - ``ctx_switch``      — from_tid (``-1`` for the initial dispatch)
 #: - ``tier_compile``    — method, blocked_asserts
 #: - ``adaptive_recompile`` — method, blocked_pcs, rate
-#: - ``fault_armed``     — fault (+ offset / line_limit), region_index
+#: - ``fault_armed``     — fault (+ offset / line_limit / store_limit),
+#:                         region_index
 #: - ``interrupt``       — delivered pending injected interrupt
 EVENT_KINDS = (
     "region_enter",
@@ -47,6 +52,8 @@ EVENT_KINDS = (
     "region_retry",
     "region_fallback",
     "region_suppressed",
+    "region_capacity",
+    "fallback_lock",
     "ctx_switch",
     "tier_compile",
     "adaptive_recompile",
@@ -115,6 +122,14 @@ class _TracerAPI:
 
     def region_suppressed(self, ts, tid, method, region) -> None:
         self.emit("region_suppressed", ts, tid, method=method, region=region)
+
+    def region_capacity(self, ts, tid, method, region, mode, used,
+                        limit) -> None:
+        self.emit("region_capacity", ts, tid, method=method, region=region,
+                  mode=mode, used=used, limit=limit)
+
+    def fallback_lock(self, ts, tid, op, depth) -> None:
+        self.emit("fallback_lock", ts, tid, op=op, depth=depth)
 
     # -- scheduler / tiers / faults ---------------------------------------
     def ctx_switch(self, ts, tid, from_tid) -> None:

@@ -19,7 +19,7 @@ from .heap import (
     WORD_BYTES,
 )
 from .interpreter import Interpreter, block_leaders, compare, guest_div, guest_mod, wrap_int
-from .locks import LockWord, MAIN_THREAD
+from .locks import FALLBACK_LOCK_ADDRESS, LockWord, MAIN_THREAD
 from .sched import DeterministicScheduler, GuestThread, SchedulePlan
 from .profile import (
     BranchProfile,
@@ -37,6 +37,7 @@ __all__ = [
     "COLD_EDGE_BIAS",
     "DeadlockError",
     "DeterministicScheduler",
+    "FALLBACK_LOCK_ADDRESS",
     "GuestArithmeticError",
     "GuestArray",
     "GuestError",

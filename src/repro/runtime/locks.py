@@ -20,6 +20,13 @@ from .errors import MonitorStateError
 #: The only guest thread that runs code in this reproduction.
 MAIN_THREAD = 0
 
+#: Simulated address of the global hybrid-HTM fallback lock word.  It lives
+#: well below ``Heap.BASE_ADDRESS`` (0x10_0000) in a runtime-reserved page,
+#: so its cache line can never collide with a guest object: regions that
+#: subscribe to it at begin time add exactly one otherwise-untouchable line
+#: to their read set.
+FALLBACK_LOCK_ADDRESS = 0x1040
+
 
 class LockWord:
     """Monitor state for one object.

@@ -27,6 +27,7 @@ import pytest
 
 from repro.atomic import form_regions
 from repro.harness import run_workload
+from repro.hw import BASELINE_4WIDE, CacheConfig
 from repro.obs import Tracer
 from repro.opt import optimize
 from repro.runtime import GuestError
@@ -52,14 +53,16 @@ def _generate(seed: int):
     ).generate()
 
 
-def _run_tiered(program, tracer=None, timing=True, dispatch="auto"):
+def _run_tiered(program, tracer=None, timing=True, dispatch="auto", hw=None):
     """Full tiered execution: warm-up, compile, measure one call."""
+    kwargs = {} if hw is None else {"hw_config": hw}
     vm = TieredVM(
         program,
         ATOMIC_AGGRESSIVE,
         options=VMOptions(enable_timing=timing, compile_threshold=1,
                           dispatch=dispatch),
         tracer=tracer,
+        **kwargs,
     )
     vm.warm_up("main", [[WARM_ARG]] * 3)
     vm.compile_hot(min_invocations=1)
@@ -190,6 +193,63 @@ class TestDispatchEquivalence:
         assert fast[2].summary() == slow[2].summary()
         assert fast_tracer.events == slow_tracer.events
         assert fast_tracer.emitted == slow_tracer.emitted
+
+
+#: bounded-capacity x fallback-mode x delivery matrix for the variant
+#: equivalence sweep: tight bounds so seeded programs actually trip them.
+_TINY_L1 = CacheConfig(256, 2, 64, 4)
+HTM_MATRIX = [
+    BASELINE_4WIDE.scaled(name="diff-rock", htm_mode="store_buffer",
+                          spec_store_buffer_entries=2),
+    BASELINE_4WIDE.scaled(name="diff-cache", htm_mode="cache_shaped",
+                          l1_config=_TINY_L1),
+    BASELINE_4WIDE.scaled(name="diff-rock-lock-begin",
+                          htm_mode="store_buffer",
+                          spec_store_buffer_entries=2,
+                          fallback_lock_mode="begin"),
+    BASELINE_4WIDE.scaled(name="diff-cache-lock-end",
+                          htm_mode="cache_shaped", l1_config=_TINY_L1,
+                          fallback_lock_mode="end"),
+    BASELINE_4WIDE.scaled(name="diff-rock-setjmp", htm_mode="store_buffer",
+                          spec_store_buffer_entries=2,
+                          abort_delivery="setjmp"),
+    BASELINE_4WIDE.scaled(name="diff-rock-lock-setjmp",
+                          htm_mode="store_buffer",
+                          spec_store_buffer_entries=2,
+                          fallback_lock_mode="begin",
+                          abort_delivery="setjmp"),
+]
+
+
+class TestHTMVariantEquivalence:
+    """Every best-effort HTM shape is a *performance* variant, never a
+    semantics variant: seeded programs must produce the same observable
+    outcome on capacity-bounded, fallback-locked, and setjmp-delivered
+    machines as on the idealized unbounded substrate."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_variants_agree_with_unbounded(self, seed):
+        program = _generate(seed)
+        base_value, base_error, _ = _run_tiered(program, timing=False)
+        for hw in HTM_MATRIX:
+            value, error, _ = _run_tiered(
+                _generate(seed), timing=False, hw=hw)
+            assert (value, error) == (base_value, base_error), (
+                f"seed {seed}: {hw.name} diverged from unbounded baseline"
+            )
+
+    def test_sweep_fires_capacity_aborts(self):
+        """The tight bounds must actually trip on sweep programs — a
+        sweep where no region ever hits capacity proves nothing about
+        the bounded recovery paths."""
+        total = 0
+        for seed in SEEDS:
+            _, _, stats = _run_tiered(
+                _generate(seed), timing=False, hw=HTM_MATRIX[0])
+            total += stats.capacity_aborts
+            if total:
+                break
+        assert total > 0
 
 
 class TestParallelSweepEquivalence:

@@ -191,9 +191,29 @@ class TestInjectedFaultKinds:
         assert stats.abort_reasons.get("overflow", 0) >= 1
         assert vm.machine.abort_reason_register == "overflow"
 
+    def test_store_buffer_pressure_forces_capacity(self):
+        program = region_loop_program()
+        plan = FaultPlan.single("capacity", region_index=5, store_limit=0)
+        result, stats, vm = run_with_faults(program, fault_plan=plan)
+        assert result == reference_result(program, (200, 0))
+        assert stats.abort_reasons.get("capacity", 0) >= 1
+        assert stats.capacity_aborts >= 1
+        assert vm.machine.abort_reason_register == "capacity"
+
+    def test_capacity_storm_terminates(self):
+        """Every region hits the shrunken store buffer; the fallback
+        escalation must still finish with the right answer."""
+        program = region_loop_program()
+        plan = FaultPlan.storm("capacity")
+        result, stats, _ = run_with_faults(program, fault_plan=plan)
+        assert result == reference_result(program, (200, 0))
+        assert stats.capacity_aborts >= 1
+        assert stats.regions_committed == 0
+
     def test_all_kinds_named(self):
         assert set(FAULT_KINDS) == {
-            "interrupt", "conflict", "overflow", "assert", "exception"
+            "interrupt", "conflict", "overflow", "assert", "exception",
+            "capacity",
         }
 
 

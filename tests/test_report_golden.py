@@ -75,6 +75,24 @@ def _mixed_figure() -> FigureData:
     return data
 
 
+def _htm_figure() -> FigureData:
+    """An HTM-realism-shaped table: variant rows with counter trailers."""
+    data = FigureData(
+        title="HTM realism: atomic+aggr-inline on hsqldb across "
+              "best-effort substrate variants",
+        columns=["speedup%", "abort%", "capacity", "lock-acq", "setjmp-dlv"],
+    )
+    data.add("unbounded", [90.66, 0.0, 0.0, 0.0, 0.0])
+    data.add("rock", [90.66, 0.0, 0.0, 0.0, 0.0])
+    data.add("cache", [90.66, 0.0, 0.0, 0.0, 0.0])
+    data.add("rock-4", [-36.56, 100.0, 64.0, 0.0, 0.0])
+    data.add("rock4+lock", [-36.56, 100.0, 64.0, 64.0, 0.0])
+    data.add("cache+sjmp", [-34.57, 74.06, 531.0, 0.0, 531.0])
+    data.notes.append("realistic bounds hold every region; tightened "
+                      "bounds abort to the recovery path")
+    return data
+
+
 def _concurrency_report() -> ConcurrencyReport:
     def stats(switches, real, injected, contended, per_thread):
         s = ExecStats()
@@ -130,6 +148,12 @@ class TestFigureTables:
 
     def test_custom_width(self):
         assert_matches_golden("figure_wide.txt", render(_figure(), width=14))
+
+    def test_htm_variant_table(self):
+        """The HTM realism table renders variant rows + counter columns
+        through the same aligned-table path as the paper figures."""
+        assert_matches_golden("figure_htm_variants.txt",
+                              render(_htm_figure()))
 
     def test_render_all_joins_with_blank_line(self):
         assert_matches_golden(
