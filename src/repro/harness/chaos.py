@@ -92,13 +92,22 @@ class ChaosCheck:
 
 @dataclass
 class ChaosReport:
-    """All checks from one :func:`run_chaos` sweep."""
+    """All checks from one :func:`run_chaos` sweep.
+
+    ``host_failures`` holds the supervisor's failure manifest when the
+    sweep ran sharded under :func:`repro.harness.parallel.run_chaos_parallel`
+    with a supervisor: shards (seeds) whose *host* execution exhausted
+    the retry budget.  The report is then explicitly partial — its
+    checks cover the surviving seeds — rather than the whole sweep dying.
+    """
 
     checks: list[ChaosCheck] = field(default_factory=list)
+    #: :class:`repro.harness.supervisor.CellFailure` per lost shard.
+    host_failures: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return all(c.ok for c in self.checks)
+        return all(c.ok for c in self.checks) and not self.host_failures
 
     @property
     def total_aborts(self) -> int:
@@ -118,6 +127,11 @@ class ChaosReport:
             f"{self.total_faults_scheduled} faults scheduled, "
             f"{len(self.failures())} failure(s)"
         )
+        for failure in self.host_failures:
+            lines.append(
+                f"HOST SHARD LOST {failure.key}: {failure.kind} "
+                f"x{failure.attempts} — {failure.error}"
+            )
         return "\n".join(lines)
 
     def raise_on_failure(self) -> None:

@@ -12,6 +12,15 @@ never read state left by a previous process; the directory defaults to
 ``.repro-cache`` under the current directory (``REPRO_DISK_CACHE_DIR``
 overrides).  Writes are atomic (temp file + rename), so a crashed or
 concurrent writer can only ever leave a complete entry or none.
+
+Entries are self-verifying: each file is ``magic + sha256(payload) +
+payload`` and :func:`load` re-hashes before unpickling, so raw pickle
+bytes are never trusted.  A corrupt entry (bit rot, torn write, hostile
+edit — :func:`repro.harness.hostchaos.corrupt_cache_entries` exercises
+exactly this) is **quarantined**: renamed to ``*.corrupt`` so it is
+never re-read, counted in :data:`quarantined_entries`, and reported as a
+miss — the cell silently recomputes, which is the supervisor's
+"failures are non-fatal" contract applied to storage.
 """
 
 from __future__ import annotations
@@ -24,8 +33,16 @@ from pathlib import Path
 
 _TRUTHY = ("1", "true", "yes", "on")
 
+#: entry-file magic; everything before it existed pre-checksums and is
+#: quarantined on sight (the content-hash keys moved anyway).
+_MAGIC = b"RPROCACHE1\n"
+_DIGEST_SIZE = 32
+
 #: memoized source-tree digest (one walk per process).
 _code_version: str | None = None
+
+#: corrupt entries quarantined by this process (observability hook).
+quarantined_entries: int = 0
 
 
 def enabled(explicit: bool | None = None) -> bool:
@@ -64,28 +81,80 @@ def _entry_path(cell_key: tuple) -> Path:
     return cache_dir() / f"{entry_key(cell_key)}.pickle"
 
 
+def _verified_payload(data: bytes) -> bytes | None:
+    """The pickle payload iff magic and checksum hold, else None."""
+    if not data.startswith(_MAGIC):
+        return None
+    digest = data[len(_MAGIC):len(_MAGIC) + _DIGEST_SIZE]
+    payload = data[len(_MAGIC) + _DIGEST_SIZE:]
+    if len(digest) < _DIGEST_SIZE:
+        return None
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
+
+
+def _quarantine(path: Path) -> None:
+    """Move a corrupt entry aside so it is never re-read (delete as a
+    last resort); always counted."""
+    global quarantined_entries
+    quarantined_entries += 1
+    try:
+        os.replace(path, path.with_suffix(".corrupt"))
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
 def load(cell_key: tuple):
-    """The cached result for ``cell_key``, or None (never raises)."""
+    """The cached result for ``cell_key``, or None (never raises).
+
+    Verifies the per-entry sha256 before unpickling; a failed check or a
+    payload that will not unpickle quarantines the entry and misses.
+    """
     path = _entry_path(cell_key)
     try:
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
-    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        data = path.read_bytes()
+    except OSError:
+        return None
+    payload = _verified_payload(data)
+    if payload is None:
+        _quarantine(path)
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception:
+        # checksum held but the payload is not loadable here (e.g. a
+        # class renamed mid-flight): same treatment, never re-read it.
+        _quarantine(path)
         return None
 
 
 def store(cell_key: tuple, result) -> None:
-    """Persist ``result`` atomically; failures are non-fatal."""
+    """Persist ``result`` atomically; failures are non-fatal.
+
+    *Any* failure — OSError on the temp file, but equally a
+    ``PicklingError`` on an unpicklable result — leaves no temp litter
+    and no entry; the next run simply recomputes the cell.
+    """
     path = _entry_path(cell_key)
     try:
+        payload = pickle.dumps(result)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle)
+                handle.write(_MAGIC)
+                handle.write(hashlib.sha256(payload).digest())
+                handle.write(payload)
             os.replace(tmp, path)
         except BaseException:
-            os.unlink(tmp)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
             raise
-    except OSError:
+    except Exception:
         pass

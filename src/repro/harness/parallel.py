@@ -24,6 +24,7 @@ reference behavior the differential suite compares against.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -59,10 +60,22 @@ HARDWARE_CONFIGS = {
 
 
 def default_workers() -> int:
-    """``REPRO_WORKERS`` if set, else 1 (serial; opt into parallelism)."""
+    """``REPRO_WORKERS`` if set, else 1 (serial; opt into parallelism).
+
+    A malformed value (``"four"``, ``"4x"``) falls back to serial with a
+    warning instead of raising ``ValueError`` deep inside a sweep — a
+    bad environment variable must never kill hours of cells.
+    """
     env = os.environ.get("REPRO_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"malformed REPRO_WORKERS={env!r}; falling back to serial "
+                "(workers=1)", RuntimeWarning, stacklevel=2,
+            )
+            return 1
     return 1
 
 
@@ -147,6 +160,7 @@ def prewarm_figures(
     benches: list[str] | None = None,
     workers: int | None = None,
     cells: list[Cell] | None = None,
+    supervisor=None,
 ) -> int:
     """Compute figure cells (in parallel) and seed the in-process memo.
 
@@ -154,7 +168,19 @@ def prewarm_figures(
     etc.) find every registry cell already cached and only glue results
     together.  Returns the number of cells installed.  Cells already in
     the memo (or the enabled disk cache) are not recomputed.
+
+    ``supervisor`` (a :class:`repro.harness.supervisor.SupervisorConfig`)
+    routes the sweep through the fault-tolerant supervisor instead of the
+    bare pool: worker crashes, hangs, and transient failures are retried
+    and, with a journal configured, an interrupted prewarm resumes
+    without recomputation.  Quarantined cells simply stay uncached — the
+    figure drivers compute them serially on demand, so a partial prewarm
+    degrades gracefully rather than failing the sweep.
     """
+    if supervisor is not None:
+        outcome = prewarm_figures_supervised(
+            benches, config=supervisor, cells=cells)
+        return outcome.completed + outcome.resumed
     pending = [
         cell for cell in (cells if cells is not None
                           else figure_cells(benches))
@@ -163,6 +189,35 @@ def prewarm_figures(
     for key, result in run_indexed(pending, compute_cell, workers):
         experiment.install_cached(key, result)
     return len(pending)
+
+
+def prewarm_figures_supervised(
+    benches: list[str] | None = None,
+    config=None,
+    cells: list[Cell] | None = None,
+    tracer=None,
+):
+    """:func:`prewarm_figures` through the sweep supervisor.
+
+    Returns the full :class:`repro.harness.supervisor.SweepOutcome`
+    (lifecycle counters, failure manifest, metrics) after installing
+    every completed cell in the in-process memo.
+    """
+    from .supervisor import SupervisorConfig, run_supervised
+
+    pending = [
+        cell for cell in (cells if cells is not None
+                          else figure_cells(benches))
+        if cell.key() not in experiment._cache
+    ]
+    kwargs = {"config": config or SupervisorConfig()}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    outcome = run_supervised(pending, compute_cell, **kwargs)
+    for pair in outcome.results:
+        if pair is not None:
+            experiment.install_cached(*pair)
+    return outcome
 
 
 # -- sharded chaos sweeps -----------------------------------------------------
@@ -193,6 +248,7 @@ def run_chaos_parallel(
     storm_reason: str | None = None,
     max_samples: int | None = None,
     workers: int | None = None,
+    supervisor=None,
 ) -> ChaosReport:
     """Seed-sharded :func:`repro.harness.chaos.run_chaos`.
 
@@ -201,6 +257,12 @@ def run_chaos_parallel(
     it — and the merged report re-sorts checks into the serial loop's
     (sample index, seed position) order, making the merged report
     byte-identical to a serial ``run_chaos`` over the same seeds.
+
+    ``supervisor`` (a :class:`repro.harness.supervisor.SupervisorConfig`)
+    hardens the shard sweep: crashed/hung/flaky shards are retried with
+    backoff, a journal makes an interrupted matrix resumable, and a
+    shard that exhausts its budget lands in ``ChaosReport.host_failures``
+    (the merged report stays partial-but-explicit instead of dying).
     """
     seeds = list(seeds)
     specs = [
@@ -208,9 +270,18 @@ def run_chaos_parallel(
          max_samples)
         for seed in seeds
     ]
-    shards = run_indexed(specs, _chaos_shard, workers)
+    host_failures = []
+    if supervisor is not None:
+        from .supervisor import run_supervised
+
+        outcome = run_supervised(specs, _chaos_shard, config=supervisor)
+        shards = [shard for shard in outcome.results if shard is not None]
+        host_failures = list(outcome.failures)
+    else:
+        shards = run_indexed(specs, _chaos_shard, workers)
     seed_position = {seed: i for i, seed in enumerate(seeds)}
     merged = ChaosReport()
+    merged.host_failures = host_failures
     merged.checks = sorted(
         (check for shard in shards for check in shard.checks),
         key=lambda c: (c.sample_index, seed_position[c.seed]),

@@ -101,6 +101,31 @@ def render_concurrency(report) -> str:
     return "\n".join(lines)
 
 
+def render_supervisor(outcome, title: str = "sweep supervisor") -> str:
+    """Render a :class:`~repro.harness.supervisor.SweepOutcome`: one row
+    of lifecycle counters (cells, completions, resumes, retries,
+    timeouts, pool rebuilds, quarantines, serial degradation) followed by
+    the failure manifest — the at-a-glance answer to "what did the
+    fault-tolerance ladder have to do to finish this sweep?"."""
+    columns = ["cells", "done", "resumed", "retry", "timeout", "rebuild",
+               "quar", "serial"]
+    rows = [(
+        "sweep",
+        [len(outcome.results), outcome.completed, outcome.resumed,
+         outcome.retries, outcome.timeouts, outcome.pool_rebuilds,
+         outcome.quarantined,
+         "yes" if outcome.degraded_serial else "no"],
+    )]
+    body = _aligned_table("supervised", 12, columns, rows, min_width=8)
+    lines = [title, "-" * len(body[0])] + body
+    for failure in outcome.failures:
+        lines.append(
+            f"  QUARANTINED {failure.key}: {failure.kind} "
+            f"x{failure.attempts} — {failure.error}"
+        )
+    return "\n".join(lines)
+
+
 def render_timeline(events, limit: int | None = None,
                     title: str = "region-lifecycle timeline") -> str:
     """Render a list of :class:`~repro.obs.TraceEvent` as a text timeline.

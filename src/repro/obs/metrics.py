@@ -111,6 +111,17 @@ class Metrics:
         d = self.counters.get(den, 0)
         return self.counters.get(num, 0) / d if d else 0.0
 
+    def merge(self, other: "Metrics") -> None:
+        """Accumulate another registry into this one (counters add,
+        histogram observations replay).  The sweep supervisor emits one
+        registry per supervised sweep; callers aggregating a session of
+        sweeps merge them here."""
+        for name, value in other.counters.items():
+            self.counters[name] += value
+        for name, histogram in other.histograms.items():
+            for value in histogram.values:
+                self.observe(name, value, histogram.bounds)
+
     # -- the ExecStats bridge ----------------------------------------------
     @classmethod
     def from_stats(cls, stats) -> "Metrics":

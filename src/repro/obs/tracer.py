@@ -45,6 +45,16 @@ from dataclasses import dataclass
 #: - ``fault_armed``     — fault (+ offset / line_limit / store_limit),
 #:                         region_index
 #: - ``interrupt``       — delivered pending injected interrupt
+#:
+#: Host sweep-supervisor lifecycle (``tid`` is the cell index, ``ts`` the
+#: supervisor's own deterministic event sequence number):
+#:
+#: - ``cell_retry``      — key, attempt, backoff_s, failure (the failure
+#:                         class being retried: exception/timeout/worker_lost)
+#: - ``cell_timeout``    — key, timeout_s (cell exceeded its wall budget)
+#: - ``pool_rebuild``    — rebuilds, reason (worker pool torn down/rebuilt)
+#: - ``quarantine``      — key, attempts, failure (cell exhausted its budget)
+#: - ``degrade_serial``  — rebuilds (pool gave up; remaining cells serial)
 EVENT_KINDS = (
     "region_enter",
     "region_commit",
@@ -59,6 +69,11 @@ EVENT_KINDS = (
     "adaptive_recompile",
     "fault_armed",
     "interrupt",
+    "cell_retry",
+    "cell_timeout",
+    "pool_rebuild",
+    "quarantine",
+    "degrade_serial",
 )
 
 
@@ -149,6 +164,24 @@ class _TracerAPI:
 
     def interrupt(self, ts) -> None:
         self.emit("interrupt", ts)
+
+    # -- host sweep supervisor (tid = cell index) --------------------------
+    def cell_retry(self, ts, tid, key, attempt, backoff_s, failure) -> None:
+        self.emit("cell_retry", ts, tid, key=key, attempt=attempt,
+                  backoff_s=backoff_s, failure=failure)
+
+    def cell_timeout(self, ts, tid, key, timeout_s) -> None:
+        self.emit("cell_timeout", ts, tid, key=key, timeout_s=timeout_s)
+
+    def pool_rebuild(self, ts, rebuilds, reason) -> None:
+        self.emit("pool_rebuild", ts, rebuilds=rebuilds, reason=reason)
+
+    def quarantine(self, ts, tid, key, attempts, failure) -> None:
+        self.emit("quarantine", ts, tid, key=key, attempts=attempts,
+                  failure=failure)
+
+    def degrade_serial(self, ts, rebuilds) -> None:
+        self.emit("degrade_serial", ts, rebuilds=rebuilds)
 
 
 class NullTracer(_TracerAPI):

@@ -1,0 +1,151 @@
+"""Disk-cache hardening: checksummed entries, quarantine, non-fatal store.
+
+Satellite of ISSUE 7: ``store`` must never let a pickling failure escape
+(the original bug: only ``OSError`` was caught, so an unpicklable
+``RunResult`` variant crashed the whole sweep), and ``load`` must treat
+any byte-level corruption as a quarantined miss, never an exception.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.harness import diskcache
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _entry_files(cache):
+    return sorted(cache.glob("*.pickle"))
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache):
+        key = ("bench", "fop", 2, "htm")
+        diskcache.store(key, {"throughput": 1.25, "aborts": [1, 2, 3]})
+        assert diskcache.load(key) == {"throughput": 1.25,
+                                       "aborts": [1, 2, 3]}
+
+    def test_miss_returns_none(self, cache):
+        assert diskcache.load(("never", "stored")) is None
+
+    def test_keys_do_not_collide(self, cache):
+        diskcache.store(("a",), 1)
+        diskcache.store(("b",), 2)
+        assert diskcache.load(("a",)) == 1
+        assert diskcache.load(("b",)) == 2
+
+    def test_entry_is_checksummed_on_disk(self, cache):
+        diskcache.store(("k",), "value")
+        (entry,) = _entry_files(cache)
+        data = entry.read_bytes()
+        assert data.startswith(diskcache._MAGIC)
+        payload = data[len(diskcache._MAGIC) + diskcache._DIGEST_SIZE:]
+        assert pickle.loads(payload) == "value"
+
+
+class TestStoreNeverRaises:
+    def test_unpicklable_result_is_swallowed(self, cache):
+        """Regression: a PicklingError must not escape ``store``."""
+        diskcache.store(("bad",), threading.Lock())  # must not raise
+        assert diskcache.load(("bad",)) is None
+
+    def test_unpicklable_result_leaves_no_litter(self, cache):
+        diskcache.store(("bad",), lambda: None)  # local lambda: unpicklable
+        assert list(cache.glob("*.tmp")) == []
+        assert _entry_files(cache) == []
+
+    def test_unwritable_directory_is_swallowed(self, cache, monkeypatch):
+        blocker = cache / "not-a-dir"
+        blocker.write_text("a file where the cache dir should be")
+        monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(blocker / "cache"))
+        diskcache.store(("k",), 1)  # mkdir fails (OSError): swallowed
+        assert diskcache.load(("k",)) is None
+
+    def test_good_store_after_bad_store(self, cache):
+        diskcache.store(("bad",), threading.Lock())
+        diskcache.store(("good",), 42)
+        assert diskcache.load(("good",)) == 42
+
+
+class TestQuarantine:
+    def _stored_entry(self, cache, key=("victim",), value="payload"):
+        diskcache.store(key, value)
+        (entry,) = _entry_files(cache)
+        return key, entry
+
+    def test_bitflip_is_quarantined(self, cache):
+        key, entry = self._stored_entry(cache)
+        data = bytearray(entry.read_bytes())
+        data[-1] ^= 0xFF
+        entry.write_bytes(bytes(data))
+        before = diskcache.quarantined_entries
+        assert diskcache.load(key) is None
+        assert diskcache.quarantined_entries == before + 1
+        assert not entry.exists()
+        assert entry.with_suffix(".corrupt").exists()
+
+    def test_quarantined_entry_is_never_reread(self, cache):
+        key, entry = self._stored_entry(cache)
+        entry.write_bytes(diskcache._MAGIC + b"\0" * 40)
+        assert diskcache.load(key) is None
+        # second load is a plain miss: the file moved aside
+        before = diskcache.quarantined_entries
+        assert diskcache.load(key) is None
+        assert diskcache.quarantined_entries == before
+
+    def test_truncated_entry(self, cache):
+        key, entry = self._stored_entry(cache)
+        entry.write_bytes(entry.read_bytes()[:len(diskcache._MAGIC) + 10])
+        assert diskcache.load(key) is None
+        assert entry.with_suffix(".corrupt").exists()
+
+    def test_empty_entry(self, cache):
+        key, entry = self._stored_entry(cache)
+        entry.write_bytes(b"")
+        assert diskcache.load(key) is None
+        assert entry.with_suffix(".corrupt").exists()
+
+    def test_legacy_unchecksummed_entry(self, cache):
+        """Pre-magic raw-pickle files are quarantined on sight."""
+        key, entry = self._stored_entry(cache)
+        entry.write_bytes(pickle.dumps("legacy raw pickle"))
+        assert diskcache.load(key) is None
+        assert entry.with_suffix(".corrupt").exists()
+
+    def test_checksum_holds_but_payload_unloadable(self, cache):
+        """A valid checksum over garbage pickle bytes still quarantines."""
+        key, entry = self._stored_entry(cache)
+        payload = b"not a pickle at all"
+        import hashlib
+        entry.write_bytes(diskcache._MAGIC
+                          + hashlib.sha256(payload).digest() + payload)
+        before = diskcache.quarantined_entries
+        assert diskcache.load(key) is None
+        assert diskcache.quarantined_entries == before + 1
+
+    def test_overwrite_heals_quarantined_key(self, cache):
+        key, entry = self._stored_entry(cache)
+        entry.write_bytes(b"junk")
+        assert diskcache.load(key) is None
+        diskcache.store(key, "healed")
+        assert diskcache.load(key) == "healed"
+
+
+class TestEnabledFlag:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        assert diskcache.enabled(True) is True
+        assert diskcache.enabled(False) is False
+        assert diskcache.enabled() is False
+        monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+        assert diskcache.enabled() is True
+        assert diskcache.enabled(False) is False

@@ -1,0 +1,135 @@
+"""Deterministic merge under adversarial completion order.
+
+Satellite of ISSUE 7: the parallel runners promise results in
+*submission* order regardless of how the pool schedules work.  A real
+``ProcessPoolExecutor`` completes mostly in order on small sweeps, so
+these tests swap in a stub executor that resolves every future in
+reverse (or seeded-shuffled) order — the worst case a loaded host can
+produce — and assert the merge discipline still yields byte-identical
+serial results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.chaos import run_chaos
+from repro.harness.parallel import run_chaos_parallel, run_indexed
+from repro.vm.compiler import ATOMIC_AGGRESSIVE
+from repro.workloads import get_workload
+
+
+class _AdversarialFuture:
+    def __init__(self, pool, index):
+        self._pool = pool
+        self._index = index
+
+    def result(self, timeout=None):
+        self._pool._drain()
+        outcome = self._pool._results[self._index]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+class _AdversarialPool:
+    """In-process ``ProcessPoolExecutor`` stand-in that completes all
+    submitted calls in an adversarial order on the first ``result()``."""
+
+    #: class-level knobs so a monkeypatched constructor signature stays
+    #: identical to the real executor's.
+    order = "reverse"
+    completion_log: list[list[int]] = []
+
+    def __init__(self, max_workers=None):
+        self._calls = []
+        self._results = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        index = len(self._calls)
+        self._calls.append((fn, args, kwargs))
+        return _AdversarialFuture(self, index)
+
+    def _drain(self):
+        if self._results:
+            return
+        indices = list(range(len(self._calls)))
+        if self.order == "reverse":
+            indices.reverse()
+        else:
+            random.Random(0xC0FFEE).shuffle(indices)
+        type(self).completion_log.append(list(indices))
+        for i in indices:
+            fn, args, kwargs = self._calls[i]
+            try:
+                self._results[i] = fn(*args, **kwargs)
+            except BaseException as exc:  # delivered via result()
+                self._results[i] = exc
+
+
+@pytest.fixture()
+def adversarial_pool(monkeypatch):
+    _AdversarialPool.completion_log = []
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _AdversarialPool)
+    return _AdversarialPool
+
+
+def _tag(item):
+    return ("cell", item, item * item)
+
+
+class TestRunIndexedMerge:
+    def test_reverse_completion_still_submission_order(
+            self, adversarial_pool):
+        adversarial_pool.order = "reverse"
+        items = list(range(12))
+        assert run_indexed(items, _tag, workers=4) == [
+            _tag(item) for item in items]
+        # the stub really did complete out of order
+        (completed,) = adversarial_pool.completion_log
+        assert completed == list(reversed(range(12)))
+
+    def test_shuffled_completion_still_submission_order(
+            self, adversarial_pool):
+        adversarial_pool.order = "shuffle"
+        items = list(range(16))
+        assert run_indexed(items, _tag, workers=4) == [
+            _tag(item) for item in items]
+        (completed,) = adversarial_pool.completion_log
+        assert completed != list(range(16))
+
+    def test_serial_path_never_touches_the_pool(self, adversarial_pool):
+        assert run_indexed([1, 2, 3], _tag, workers=1) == [
+            _tag(1), _tag(2), _tag(3)]
+        assert adversarial_pool.completion_log == []
+
+
+class TestChaosMergeOrder:
+    """The merged chaos report re-sorts shard checks into the serial
+    (sample index, seed position) order — completion order must not
+    leak into the report."""
+
+    @pytest.mark.parametrize("order", ["reverse", "shuffle"])
+    def test_parallel_report_matches_serial(self, adversarial_pool, order):
+        adversarial_pool.order = order
+        seeds = (0, 1, 2, 3)
+        serial = run_chaos(get_workload("fop"), ATOMIC_AGGRESSIVE,
+                           seeds=seeds, max_samples=1)
+        merged = run_chaos_parallel("fop", seeds=seeds, max_samples=1,
+                                    workers=2)
+        assert merged.describe() == serial.describe()
+        assert merged.ok == serial.ok
+        assert [(c.seed, c.sample_index) for c in merged.checks] == [
+            (c.seed, c.sample_index) for c in serial.checks]
+        # shards really completed out of submission order
+        (completed,) = adversarial_pool.completion_log
+        assert completed != sorted(completed)
