@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Contention scaling sweep: atomic primitives under high thread counts.
+
+Runs the (scenario x primitive x threads) contention matrix — shared
+counter, ticket lock, and bounded MS-style queue, each via FAA, a CAS
+retry loop, an LL/SC retry loop, monitor locking, and monitor locking
+compiled to elided-lock regions — under the seeded deterministic
+scheduler, and emits ``BENCH_contention.json``::
+
+    {"meta": {...},
+     "cells": [{"scenario": ..., "primitive": ..., "threads": ...,
+                "steps_per_op": ..., "retries": ..., "oracle_ok": ...},
+               ...]}
+
+Every cell is validated in-run by the serializability oracle: the
+threaded guest results and heap must be byte-identical to a serial-order
+execution of the same workers (or, for the queue — whose consumer
+assignment is legitimately schedule-dependent — satisfy the
+linearizability invariant battery).  The sweep then asserts the scaling
+shape the primitives are supposed to have: FAA's steps-per-op stays flat
+from 2 to 64 threads (one indivisible uop, O(n) total work) while the
+CAS/LL-SC loops' lost-attempt retries grow superlinearly in the thread
+count (the O(n^2) coherence storm).
+
+Usage:
+    python benchmarks/bench_contention.py [--output BENCH_contention.json]
+        [--threads 2,4,8,16,32,64] [--iters 8] [--seed 0] [--quick]
+
+``--quick`` shrinks the thread axis to 2,8 for the CI smoke gate; the
+superlinearity checks need an 8x thread span and are skipped below it
+(the oracle and flatness checks always run).  Run standalone, not under
+pytest: a full sweep is minutes of scheduled guest execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness import CONTENTION_PRIMITIVES, run_contention_cell  # noqa: E402
+from repro.workloads.contention import SCENARIOS                      # noqa: E402
+
+DEFAULT_THREADS = (2, 4, 8, 16, 32, 64)
+
+#: FAA steps-per-op may drift this much across the whole thread axis and
+#: still count as "flat" (it is exactly flat today; the budget absorbs
+#: future scheduler-overhead accounting changes, not real scaling).
+FLATNESS_BUDGET = 0.10
+
+
+def run_matrix(threads: tuple, iters: int, seed: int) -> list[dict]:
+    cells = []
+    for scenario in SCENARIOS:
+        for primitive in CONTENTION_PRIMITIVES:
+            for count in threads:
+                begin = time.perf_counter()
+                cell = run_contention_cell(
+                    scenario, primitive, count, iters=iters, seed=seed,
+                )
+                wall = time.perf_counter() - begin
+                cells.append(cell)
+                print(f"{scenario:8s} {primitive:9s} t={count:3d}  "
+                      f"steps/op={cell['steps_per_op']:8.2f}  "
+                      f"retries={cell['retries']:5d}  "
+                      f"aborts={cell['regions_aborted']:4d}  "
+                      f"oracle={'ok' if cell['oracle_ok'] else 'FAIL'}  "
+                      f"({wall:.2f}s)")
+    return cells
+
+
+def check_scaling(cells: list[dict], threads: tuple) -> list[str]:
+    """The acceptance shape: every oracle green, FAA flat, CAS superlinear."""
+    failures = []
+    for cell in cells:
+        if not cell["oracle_ok"]:
+            failures.append(
+                f"{cell['scenario']}/{cell['primitive']}/t{cell['threads']}: "
+                f"oracle check failed ({cell['oracle']})")
+    index = {(c["scenario"], c["primitive"], c["threads"]): c
+             for c in cells}
+    tmin, tmax = min(threads), max(threads)
+
+    # FAA: zero retries, flat per-op cost across the whole axis.
+    for count in threads:
+        cell = index[("counter", "faa", count)]
+        if cell["retries"] != 0:
+            failures.append(
+                f"counter/faa/t{count}: {cell['retries']} retries "
+                "(FAA must be indivisible)")
+    lo = index[("counter", "faa", tmin)]["steps_per_op"]
+    hi = index[("counter", "faa", tmax)]["steps_per_op"]
+    if hi > lo * (1.0 + FLATNESS_BUDGET):
+        failures.append(
+            f"counter/faa: steps/op grew {lo:.2f} -> {hi:.2f} across "
+            f"t{tmin}->t{tmax} (not flat)")
+
+    # CAS/LL-SC: retry traffic must exist and outgrow the thread count.
+    if tmax >= 8 * tmin:
+        for primitive in ("cas", "llsc"):
+            series = [index[("counter", primitive, count)]
+                      for count in threads]
+            last = series[-1]
+            if last["retries"] == 0:
+                failures.append(
+                    f"counter/{primitive}/t{tmax}: no retries at the top "
+                    "of the thread axis (no contention observed)")
+                continue
+            anchor = next(c for c in series if c["retries"])
+            if anchor is last:
+                continue  # retries only appeared at the top: superlinear
+            thread_ratio = last["threads"] / anchor["threads"]
+            retry_ratio = last["retries"] / anchor["retries"]
+            if retry_ratio <= thread_ratio:
+                failures.append(
+                    f"counter/{primitive}: retries grew {retry_ratio:.1f}x "
+                    f"over a {thread_ratio:.1f}x thread span "
+                    f"(t{anchor['threads']}->t{tmax}: not superlinear)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write BENCH_contention.json here "
+                             "(default: repo root)")
+    parser.add_argument("--threads", default=None,
+                        help="comma-separated thread counts "
+                             "(default: 2,4,8,16,32,64)")
+    parser.add_argument("--iters", type=int, default=8,
+                        help="atomic ops per worker thread")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule seed for every cell")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: thread axis 2,8 only")
+    args = parser.parse_args()
+
+    if args.threads:
+        threads = tuple(int(t) for t in args.threads.split(","))
+    elif args.quick:
+        threads = (2, 8)
+    else:
+        threads = DEFAULT_THREADS
+
+    begin = time.perf_counter()
+    cells = run_matrix(threads, args.iters, args.seed)
+    wall = time.perf_counter() - begin
+    failures = check_scaling(cells, threads)
+
+    results = {
+        "meta": {
+            "threads": list(threads),
+            "iters": args.iters,
+            "seed": args.seed,
+            "scenarios": list(SCENARIOS),
+            "primitives": list(CONTENTION_PRIMITIVES),
+            "oracle_all_ok": all(c["oracle_ok"] for c in cells),
+            "scaling_ok": not failures,
+        },
+        "cells": cells,
+    }
+    output = Path(args.output) if args.output else (
+        Path(__file__).resolve().parents[1] / "BENCH_contention.json"
+    )
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} ({len(cells)} cells, {wall:.1f}s)")
+    if failures:
+        print("SCALING CHECK FAILED:", *failures, sep="\n  ")
+        return 1
+    print("scaling check ok: FAA flat, CAS/LL-SC retries superlinear, "
+          "every cell oracle-validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -279,19 +279,23 @@ class ConcurrencyCheck:
     replay_identical: bool
     heap_matches_interpreter: bool
     locks_quiescent: bool
-    #: the serial order the threaded run matched (None on violation).
+    #: the serial order the threaded run matched (None on violation, and
+    #: None when the workload opted out of serial-order matching).
     serial_order: tuple | None
     stats: ExecStats
     trace: list = field(default_factory=list)
     threaded_results: list = field(default_factory=list)
     violation: str | None = None
+    #: one entry per failed workload invariant (linearizability battery).
+    invariant_failures: list = field(default_factory=list)
     #: Chrome trace-event JSON dumped for failing checks (else None).
     trace_path: str | None = None
 
     @property
     def ok(self) -> bool:
         return (self.serializable and self.replay_identical
-                and self.locks_quiescent)
+                and self.locks_quiescent
+                and not self.invariant_failures)
 
     def describe(self) -> str:
         status = "ok" if self.ok else "FAILED"
@@ -305,6 +309,8 @@ class ConcurrencyCheck:
         )
         if self.violation is not None:
             out += "\n" + self.violation
+        for failure in self.invariant_failures:
+            out += f"\n  invariant violated: {failure}"
         if self.trace_path is not None:
             out += f"\n  trace dumped to {self.trace_path}"
         return out
@@ -367,7 +373,11 @@ def _threaded_run(
     plan: SchedulePlan,
     tracer: Tracer | None = None,
 ):
-    """One scheduled N-thread execution; returns (results, fp, stats, sched, vm)."""
+    """One scheduled N-thread execution.
+
+    Returns ``(results, fp, stats, sched, vm, shared)`` — the setup object
+    rides along so invariant hooks can inspect the final shared state.
+    """
     vm = _threaded_vm(workload, compiler_config, hw_config, tracer)
     shared = vm.run(workload.setup)
     vm.start_measurement()
@@ -378,7 +388,7 @@ def _threaded_run(
     )
     stats = vm.end_measurement()
     results = [thread.result for thread in sched.threads]
-    return results, vm.heap.fingerprint(), stats, sched, vm
+    return results, vm.heap.fingerprint(), stats, sched, vm, shared
 
 
 def _serial_machine(
@@ -455,14 +465,29 @@ def run_concurrency_chaos(
 
     For each seed the workload's workers run under the deterministic
     scheduler (twice — the second run checks bit-for-bit replay, including
-    the recorded event stream), and the outcome is compared against all
-    ``threads!`` serial-order executions on both the compiled machine and
-    the tier-0 interpreter.  Any schedule whose committed results/heap
-    match no serial order is an atomicity violation and is reported with
-    its interleaving and region counters; failing checks also dump the
-    Chrome trace of the offending schedule next to the seed.
+    the recorded event stream), and the outcome is compared against
+    serial-order executions on both the compiled machine and the tier-0
+    interpreter.  Any schedule whose committed results/heap match no
+    serial order is an atomicity violation and is reported with its
+    interleaving and region counters; failing checks also dump the Chrome
+    trace of the offending schedule next to the seed.
+
+    The serial-order set adapts to the workload: all ``threads!``
+    permutations by default; only the identity order when the workload is
+    ``symmetric`` (interchangeable workers — the high-thread-count
+    contention scenarios, where enumerating permutations is infeasible);
+    none at all when ``serializable`` is False (schedule-dependent
+    outcomes, e.g. competing queue consumers).  Either way, every
+    workload ``invariant`` runs against the threaded outcome, so the
+    linearizability battery (counter totals, mutual exclusion, FIFO per
+    producer) applies even where whole-thread serializability does not.
     """
-    orders = list(itertools.permutations(range(workload.threads)))
+    if not workload.serializable:
+        orders = []
+    elif workload.symmetric:
+        orders = [tuple(range(workload.threads))]
+    else:
+        orders = list(itertools.permutations(range(workload.threads)))
     serial_m = {
         order: _serial_machine(workload, compiler_config, hw_config, order)
         for order in orders
@@ -476,10 +501,10 @@ def run_concurrency_chaos(
         plan = SchedulePlan(seed=seed, quantum=quantum)
         tracer = Tracer(capacity=trace_capacity)
         replay_tracer = Tracer(capacity=trace_capacity)
-        results, fp, stats, sched, vm = _threaded_run(
+        results, fp, stats, sched, vm, shared = _threaded_run(
             workload, compiler_config, hw_config, plan, tracer,
         )
-        r_results, r_fp, _r_stats, r_sched, _r_vm = _threaded_run(
+        r_results, r_fp, _r_stats, r_sched, _r_vm, _r_shared = _threaded_run(
             workload, compiler_config, hw_config, plan, replay_tracer,
         )
         replay_identical = (
@@ -495,15 +520,21 @@ def run_concurrency_chaos(
                 match = order
                 break
         violation = None
-        if match is None:
+        if workload.serializable and match is None:
             violation = _violation_report(
                 workload, sched, stats, results, serial_m,
             )
+        invariant_failures = []
+        for invariant in workload.invariants:
+            message = invariant(shared, results, vm.heap)
+            if message is not None:
+                invariant_failures.append(message)
         check = ConcurrencyCheck(
             workload=workload.name,
             seed=seed,
             threads=workload.threads,
-            serializable=match is not None,
+            serializable=(match is not None if workload.serializable
+                          else True),
             replay_identical=replay_identical,
             heap_matches_interpreter=(
                 match is not None and fp == serial_i[match][1]
@@ -514,6 +545,7 @@ def run_concurrency_chaos(
             trace=list(sched.trace),
             threaded_results=results,
             violation=violation,
+            invariant_failures=invariant_failures,
         )
         if not check.ok:
             check.trace_path = dump_chrome_trace(

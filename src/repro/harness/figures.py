@@ -23,6 +23,8 @@ from ..vm.compiler import (
     NO_ATOMIC_AGGRESSIVE,
 )
 from ..workloads import ALL_WORKLOADS, get_workload
+from ..workloads.contention import SCENARIOS, contention_workload
+from .chaos import run_concurrency_chaos
 from .experiment import RunResult, run_workload
 
 #: benchmark order used by every figure (the paper's Table 2 order).
@@ -302,8 +304,116 @@ def figure_htm_variants(bench: str = "hsqldb") -> FigureData:
     return data
 
 
+#: the primitive axis of the contention figure: the three architectural
+#: atomics, monitor locking, and monitor locking under the atomic compiler
+#: config (elided-lock regions) — the region-formation-policy dimension.
+CONTENTION_PRIMITIVES = ("faa", "cas", "llsc", "lock", "lock-sle")
+
+
+def run_contention_cell(scenario: str, primitive: str, threads: int,
+                        iters: int = 4, seed: int = 0,
+                        quantum: tuple[int, int] = (8, 32)) -> dict:
+    """One cell of the contention matrix, oracle-checked.
+
+    Runs the (scenario, primitive, threads) workload under the seeded
+    deterministic scheduler via :func:`run_concurrency_chaos` — so every
+    cell's guest results are validated against the serializability oracle
+    (or the linearizability invariants where whole-thread serializability
+    does not apply) — and distills the stats into the throughput/retry
+    numbers the scaling figure plots.  ``primitive`` may be any of
+    :data:`CONTENTION_PRIMITIVES`; ``lock-sle`` runs the monitor build
+    under the atomic compiler config, so its critical sections execute as
+    speculative elided-lock regions and its retry traffic is conflict
+    aborts rather than failed CAS/SC attempts.
+    """
+    guest_primitive = "lock" if primitive == "lock-sle" else primitive
+    compiler_config = ATOMIC if primitive == "lock-sle" else NO_ATOMIC
+    workload = contention_workload(scenario, guest_primitive, threads, iters)
+    report = run_concurrency_chaos(
+        workload, compiler_config, seeds=(seed,), quantum=quantum,
+    )
+    check = report.checks[0]
+    stats = check.stats
+    steps = sum(stats.uops_by_thread.values())
+    if scenario == "msqueue":
+        ops = sum(args[1] + args[2] for args in workload.thread_args)
+    else:
+        ops = threads * iters
+    retries = (stats.cas_failures + stats.sc_failures
+               + stats.conflict_retries)
+    return {
+        "scenario": scenario,
+        "primitive": primitive,
+        "threads": threads,
+        "iters": iters,
+        "seed": seed,
+        "ops": ops,
+        "steps": steps,
+        "steps_per_op": round(steps / ops, 2) if ops else 0.0,
+        "throughput_ops_per_kstep": (
+            round(1000.0 * ops / steps, 3) if steps else 0.0),
+        "cas_failures": stats.cas_failures,
+        "sc_failures": stats.sc_failures,
+        "conflict_retries": stats.conflict_retries,
+        "retries": retries,
+        "retries_per_op": round(retries / ops, 4) if ops else 0.0,
+        "regions_entered": stats.regions_entered,
+        "regions_aborted": stats.regions_aborted,
+        "real_conflict_aborts": stats.real_conflict_aborts,
+        "context_switches": stats.context_switches,
+        "oracle": ("serial-order" if workload.serializable
+                   else "invariants"),
+        "oracle_ok": check.ok,
+        "serial_order_matched": check.serial_order is not None,
+    }
+
+
+def figure_contention(
+    scenarios: tuple = SCENARIOS,
+    primitives: tuple = CONTENTION_PRIMITIVES,
+    threads: tuple = (2, 8, 32),
+    iters: int = 4,
+    seed: int = 0,
+) -> FigureData:
+    """Contention scaling: throughput and retry curves vs. thread count.
+
+    The repo's first O(n) vs O(n²) figure: FAA is one indivisible uop, so
+    its steps-per-op stays flat as threads pile onto the line, while the
+    CAS/LL-SC retry loops span several guest steps and their lost-attempt
+    retry traffic grows superlinearly with the thread count.  Not part of
+    :func:`all_figures` — the paper's single-threaded figures are pinned
+    byte-identical and this one is deliberately additive.
+    """
+    data = FigureData(
+        title="Contention scaling: shared-memory primitives vs. threads",
+        columns=["ops/kstep", "steps/op", "retries/op", "aborts", "oracle"],
+    )
+    for scenario in scenarios:
+        for primitive in primitives:
+            for count in threads:
+                cell = run_contention_cell(
+                    scenario, primitive, count, iters=iters, seed=seed,
+                )
+                data.add(f"{scenario}/{primitive}/t{count}", [
+                    cell["throughput_ops_per_kstep"],
+                    cell["steps_per_op"],
+                    cell["retries_per_op"],
+                    float(cell["regions_aborted"]),
+                    1.0 if cell["oracle_ok"] else 0.0,
+                ])
+    data.notes.append(
+        "oracle 1.00 = the threaded run matched a serial order "
+        "(or every linearizability invariant, for msqueue)")
+    return data
+
+
 def all_figures() -> list[FigureData]:
-    """Everything, in paper order (used by the quickstart example)."""
+    """Everything, in paper order (used by the quickstart example).
+
+    :func:`figure_contention` is deliberately NOT included: the paper's
+    figures are single-threaded and pinned; the contention figure is the
+    additive multi-threaded scaling study (see ``bench_contention.py``).
+    """
     return [table2(), figure7(), figure8(), table3(), figure9(),
             section62(), section63(), section7_adaptive(),
             figure_htm_variants()]

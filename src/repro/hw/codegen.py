@@ -183,6 +183,30 @@ class CodeGenerator:
                               b=self.vreg(node.operands[1]),
                               fieldname=node.attrs["field"], src_pc=pc))
             return
+        if kind is Kind.FAA:
+            self._emit(MInstr(MOp.FAA, dst=self.vreg(node),
+                              a=self.vreg(node.operands[0]),
+                              b=self.vreg(node.operands[1]),
+                              fieldname=node.attrs["field"], src_pc=pc))
+            return
+        if kind is Kind.CAS:
+            self._emit(MInstr(MOp.CAS, dst=self.vreg(node),
+                              a=self.vreg(node.operands[0]),
+                              b=self.vreg(node.operands[1]),
+                              c=self.vreg(node.operands[2]),
+                              fieldname=node.attrs["field"], src_pc=pc))
+            return
+        if kind is Kind.LL:
+            self._emit(MInstr(MOp.LL, dst=self.vreg(node),
+                              a=self.vreg(node.operands[0]),
+                              fieldname=node.attrs["field"], src_pc=pc))
+            return
+        if kind is Kind.SC:
+            self._emit(MInstr(MOp.SC, dst=self.vreg(node),
+                              a=self.vreg(node.operands[0]),
+                              b=self.vreg(node.operands[1]),
+                              fieldname=node.attrs["field"], src_pc=pc))
+            return
         if kind is Kind.ALOAD:
             self._emit(MInstr(MOp.LOADA, dst=self.vreg(node),
                               a=self.vreg(node.operands[0]),
@@ -1241,6 +1265,89 @@ def _make_handler(compiled: CompiledMethod, instr: MInstr, pc: int,
             return nxt
 
         return h_storelock
+
+    if op in (MOp.FAA, MOp.CAS, MOp.LL, MOp.SC):
+        fieldname = instr.fieldname
+
+        def h_atomic(fr):
+            mach = fr.machine
+            mach.uops_executed += 1
+            st = fr.stats
+            st.uops_retired += 1
+            region = fr.region
+            if region is not None:
+                region.uops += 1
+                region.record.uops += 1
+            regs = fr.regs
+            obj = regs[a]
+            if obj is None or not isinstance(obj, GuestObject):
+                if obj is None:
+                    if region is None:
+                        raise NullPointerError("null dereference")
+                    return mach._fast_exception(fr, mypc)
+                raise VMError(
+                    f"expected GuestObject, got {type(obj).__name__}"
+                )
+            heap = mach.heap
+            slot = obj.field_index[fieldname]
+            mem = obj.base + 16 + slot * 8
+            if region is not None:
+                region.read_lines.add(mem >> shift)
+                buffered = region.store_buffer.get((id(obj), "f", slot))
+                current = (buffered[2] if buffered is not None
+                           else obj.slots[slot])
+            else:
+                current = obj.slots[slot]
+            store = False
+            new_value = None
+            if op is MOp.FAA:
+                new_value = wrap_int(current + regs[b])
+                store = True
+                regs[dst] = current
+                st.faa_ops += 1
+            elif op is MOp.CAS:
+                ok = compare("eq", current, regs[b])
+                regs[dst] = 1 if ok else 0
+                st.cas_ops += 1
+                if ok:
+                    store = True
+                    new_value = regs[c]
+                else:
+                    st.cas_failures += 1
+            elif op is MOp.LL:
+                regs[dst] = current
+                heap.set_reservation(fr.tid, mem)
+                st.ll_ops += 1
+            else:  # SC
+                ok = heap.check_reservation(fr.tid, mem)
+                heap.clear_reservation(fr.tid)
+                regs[dst] = 1 if ok else 0
+                st.sc_ops += 1
+                if ok:
+                    store = True
+                    new_value = regs[b]
+                else:
+                    st.sc_failures += 1
+            if store:
+                if region is not None:
+                    region.store_buffer[(id(obj), "f", slot)] = (
+                        obj, slot, new_value)
+                    region.write_lines.add(mem >> shift)
+                else:
+                    obj.slots[slot] = new_value
+                    if heap.reservations:
+                        heap.kill_reservations(fr.tid, mem, shift)
+                st.stores += 1
+            timing = fr.timing
+            if timing is not None:
+                timing.uop(instr, mem)
+            if region is not None:
+                reason = mach._hw_condition(region)
+                if reason is not None:
+                    return mach._fast_abort(fr, reason, nxt)
+            return nxt
+
+        return h_atomic
 
     if op is MOp.LOADSPILL or op is MOp.STORESPILL:
         is_load = op is MOp.LOADSPILL

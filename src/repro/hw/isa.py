@@ -66,6 +66,13 @@ class MOp(enum.Enum):
     STORESPILL = enum.auto()  # spill slot imm <- a
     LOADG = enum.auto()       # dst <- global cell imm (safepoint flag)
 
+    # Atomic read-modify-write (one uop: load + ALU + store, serialized
+    # through the store port like a lock-word update).
+    FAA = enum.auto()         # dst <- a.field; a.field <- dst + b
+    CAS = enum.auto()         # dst <- (a.field == b); if dst: a.field <- c
+    LL = enum.auto()          # dst <- a.field, reserving the address
+    SC = enum.auto()          # dst <- reservation held; if dst: a.field <- b
+
     # Allocation.
     NEWOBJ = enum.auto()      # dst <- new cls
     NEWARR = enum.auto()      # dst <- new array of length a
@@ -95,6 +102,12 @@ LOAD_MOPS = frozenset({
 })
 
 STORE_MOPS = frozenset({MOp.STOREF, MOp.STOREA, MOp.STORELOCK, MOp.STORESPILL})
+
+#: Atomic read-modify-write uops.  Deliberately in NEITHER ``LOAD_MOPS``
+#: nor ``STORE_MOPS``: they touch both ports and the timing model gives
+#: them the serialized RMW treatment explicitly (like ``STORELOCK``),
+#: leaving every pre-existing load/store path byte-identical.
+ATOMIC_MOPS = frozenset({MOp.FAA, MOp.CAS, MOp.LL, MOp.SC})
 
 BRANCH_MOPS = frozenset({MOp.BR, MOp.BR_TRAP, MOp.BR_ABORT, MOp.JMP})
 

@@ -91,6 +91,10 @@ class _RegionState:
     cap_over: bool = False
     #: which capacity bound tripped: (mode, used, limit) for the tracer.
     capacity_detail: tuple | None = None
+    #: owner's LL/SC reservation at region entry (None = none held).  An
+    #: abort rewinds the reservation station with the rest of the
+    #: speculative state; commit keeps whatever the region established.
+    reservation: int | None = None
 
 
 #: canonical branch-condition semantics live in :mod:`repro.hw.codegen`
@@ -296,7 +300,8 @@ class Machine:
                     obj = self._require(regs[instr.a], GuestObject)
                     slot = obj.field_index[instr.fieldname]
                     mem_address = obj.base + 16 + slot * 8
-                    self._write(region, obj, slot, regs[instr.b], mem_address)
+                    self._write(region, obj, slot, regs[instr.b], mem_address,
+                                tid)
                     stats.stores += 1
                 elif op is MOp.LOADA:
                     arr = self._require(regs[instr.a], GuestArray)
@@ -312,7 +317,8 @@ class Machine:
                     if not 0 <= index < len(arr.values):
                         raise BoundsError(index, len(arr.values))
                     mem_address = arr.element_address(index)
-                    self._write(region, arr, index, regs[instr.c], mem_address)
+                    self._write(region, arr, index, regs[instr.c], mem_address,
+                                tid)
                     stats.stores += 1
                 elif op is MOp.LOADLEN:
                     arr = self._require(regs[instr.a], GuestArray)
@@ -386,6 +392,56 @@ class Machine:
                 elif op is MOp.LOADG:
                     regs[instr.dst] = 0  # yield flag never set in samples
                     mem_address = instr.imm
+                elif op is MOp.FAA:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    slot = obj.field_index[instr.fieldname]
+                    mem_address = obj.base + 16 + slot * 8
+                    self._track_read(region, mem_address)
+                    old = self._read_field(region, obj, slot)
+                    self._write(region, obj, slot,
+                                wrap_int(old + regs[instr.b]),
+                                mem_address, tid)
+                    regs[instr.dst] = old
+                    stats.stores += 1
+                    stats.faa_ops += 1
+                elif op is MOp.CAS:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    slot = obj.field_index[instr.fieldname]
+                    mem_address = obj.base + 16 + slot * 8
+                    self._track_read(region, mem_address)
+                    current = self._read_field(region, obj, slot)
+                    ok = compare("eq", current, regs[instr.b])
+                    regs[instr.dst] = 1 if ok else 0
+                    stats.cas_ops += 1
+                    if ok:
+                        self._write(region, obj, slot, regs[instr.c],
+                                    mem_address, tid)
+                        stats.stores += 1
+                    else:
+                        stats.cas_failures += 1
+                elif op is MOp.LL:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    slot = obj.field_index[instr.fieldname]
+                    mem_address = obj.base + 16 + slot * 8
+                    self._track_read(region, mem_address)
+                    regs[instr.dst] = self._read_field(region, obj, slot)
+                    self.heap.set_reservation(tid, mem_address)
+                    stats.ll_ops += 1
+                elif op is MOp.SC:
+                    obj = self._require(regs[instr.a], GuestObject)
+                    slot = obj.field_index[instr.fieldname]
+                    mem_address = obj.base + 16 + slot * 8
+                    self._track_read(region, mem_address)
+                    ok = self.heap.check_reservation(tid, mem_address)
+                    self.heap.clear_reservation(tid)
+                    regs[instr.dst] = 1 if ok else 0
+                    stats.sc_ops += 1
+                    if ok:
+                        self._write(region, obj, slot, regs[instr.b],
+                                    mem_address, tid)
+                        stats.stores += 1
+                    else:
+                        stats.sc_failures += 1
                 elif op is MOp.NEWOBJ:
                     layout = self.program.field_layout(instr.cls)
                     regs[instr.dst] = self.heap.new_object(instr.cls, layout)
@@ -674,6 +730,7 @@ class Machine:
             heap_mark=self.heap.mark(),
             progress_key=(tid, id(compiled), instr.imm),
             owner_tid=tid,
+            reservation=self.heap.reservations.get(tid),
         )
         if self._fallback_mode == "begin":
             # Eager subscription: the fallback lock's line joins the read
@@ -711,12 +768,17 @@ class Machine:
                 return region.store_buffer[key][2]
         return arr.values[index]
 
-    def _write(self, region, target, slot, value, address) -> None:
+    def _write(self, region, target, slot, value, address,
+               tid: int = MAIN_THREAD) -> None:
         if region is None:
             if isinstance(target, GuestObject):
                 target.slots[slot] = value
             else:
                 target.values[slot] = value
+            if self.heap.reservations:
+                # A committed data store invalidates other threads' LL/SC
+                # reservations on its cache line.
+                self.heap.kill_reservations(tid, address, self._line_shift)
             if self.sched is not None:
                 self.sched.note_store(address)
             return
@@ -758,6 +820,15 @@ class Machine:
                 target.slots[slot] = value
             else:
                 target.values[slot] = value
+        if self.heap.reservations and region.write_lines:
+            # The commit makes the region's stores visible "at an instant":
+            # every written line invalidates other threads' LL/SC
+            # reservations, at line granularity like the coherence fabric.
+            shift = self._line_shift
+            for line in region.write_lines:
+                self.heap.kill_reservations(
+                    region.owner_tid, line << shift, shift
+                )
         sched = self.sched
         if sched is not None:
             sched.region_end(region.owner_tid)
@@ -982,6 +1053,12 @@ class Machine:
         spill[:] = region.checkpoint_spill
         if region.heap_mark is not None:
             self.heap.discard_speculative(region.heap_mark, region.allocs)
+        # The reservation station rewinds with the speculative state: an
+        # LL inside the aborted region must not survive the abort.
+        if region.reservation is None:
+            self.heap.clear_reservation(region.owner_tid)
+        else:
+            self.heap.set_reservation(region.owner_tid, region.reservation)
         self.abort_reason_register = reason
         self.abort_pc_register = abort_pc
         #: RTM-style handler arguments (set on every abort, including

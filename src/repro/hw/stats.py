@@ -95,6 +95,16 @@ class ExecStats:
     monitor_ops: int = 0
     sle_elisions: int = 0
 
+    #: architectural atomic primitives (machine tiers only; the failure
+    #: counters split out the CAS/SC attempts that stored nothing — the
+    #: retry traffic the contention figures plot).
+    faa_ops: int = 0
+    cas_ops: int = 0
+    cas_failures: int = 0
+    ll_ops: int = 0
+    sc_ops: int = 0
+    sc_failures: int = 0
+
     def note_region(self, record: RegionExecution) -> None:
         self.regions_entered += 1
         self.unique_regions.add(record.region_key)
@@ -182,4 +192,10 @@ class ExecStats:
             "fallback_lock_acquisitions": self.fallback_lock_acquisitions,
             "fallback_lock_waits": self.fallback_lock_waits,
             "setjmp_deliveries": self.setjmp_deliveries,
+            "faa_ops": self.faa_ops,
+            "cas_ops": self.cas_ops,
+            "cas_failures": self.cas_failures,
+            "ll_ops": self.ll_ops,
+            "sc_ops": self.sc_ops,
+            "sc_failures": self.sc_failures,
         }

@@ -26,7 +26,15 @@ from collections import deque
 from .branchpred import CombiningPredictor
 from .cache import MemoryHierarchy
 from .config import BASELINE_4WIDE, HardwareConfig
-from .isa import ALU_LATENCY, DEFAULT_LATENCY, LOAD_MOPS, MInstr, MOp, STORE_MOPS
+from .isa import (
+    ALU_LATENCY,
+    ATOMIC_MOPS,
+    DEFAULT_LATENCY,
+    LOAD_MOPS,
+    MInstr,
+    MOp,
+    STORE_MOPS,
+)
 
 #: cycles charged per interpreted bytecode (tier-0 execution).
 INTERPRETER_CYCLES_PER_BYTECODE = 12
@@ -117,6 +125,18 @@ class TimingModel:
                 prior = self._store_ready.get(mem_address)
                 if prior is not None and prior > ready:
                     ready = prior
+            if mem_address is not None:
+                self._store_ready[mem_address] = ready + latency
+        elif op in ATOMIC_MOPS:
+            # Atomic RMW: one cache access, lock-class latency, and full
+            # serialization against prior RMWs/stores on the same address —
+            # contended FAA/CAS chains cost what a lock-word chain costs.
+            if mem_address is not None:
+                self.memory.access(mem_address)
+                prior = self._store_ready.get(mem_address)
+                if prior is not None and prior > ready:
+                    ready = prior
+            latency = LOCK_STORE_LATENCY
             if mem_address is not None:
                 self._store_ready[mem_address] = ready + latency
         else:

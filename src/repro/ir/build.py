@@ -257,6 +257,32 @@ class _IRBuilder:
                 obj, value = use(instr.a), use(instr.b)
                 emit(Kind.CHECK_NULL, [obj], pc=pc)
                 emit(Kind.PUTFIELD, [obj, value], pc=pc, field=instr.fieldname)
+            elif op is Op.FAA:
+                obj, delta = use(instr.a), use(instr.b)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                env[instr.dst] = emit(
+                    Kind.FAA, [obj, delta], pc=pc, field=instr.fieldname
+                )
+            elif op is Op.CAS:
+                obj = use(instr.a)
+                expected, new = use(instr.b), use(instr.c)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                env[instr.dst] = emit(
+                    Kind.CAS, [obj, expected, new], pc=pc,
+                    field=instr.fieldname,
+                )
+            elif op is Op.LL:
+                obj = use(instr.a)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                env[instr.dst] = emit(
+                    Kind.LL, [obj], pc=pc, field=instr.fieldname
+                )
+            elif op is Op.SC:
+                obj, value = use(instr.a), use(instr.b)
+                emit(Kind.CHECK_NULL, [obj], pc=pc)
+                env[instr.dst] = emit(
+                    Kind.SC, [obj, value], pc=pc, field=instr.fieldname
+                )
             elif op is Op.ALOAD:
                 arr, idx = use(instr.a), use(instr.b)
                 emit(Kind.CHECK_NULL, [arr], pc=pc)

@@ -28,6 +28,7 @@ from ..runtime.errors import (
 from ..runtime.heap import GuestArray, GuestObject, Heap, Value
 from ..runtime.interpreter import compare, guest_div, guest_mod, wrap_int
 from ..runtime.locks import MAIN_THREAD
+from ..runtime.sched import DEFAULT_LINE_SHIFT
 from .cfg import Block, Graph
 from .ops import Kind, Node
 
@@ -47,6 +48,9 @@ class _Checkpoint:
     region_id: int | None
     heap_log: list = field(default_factory=list)   # undo entries
     lock_log: list = field(default_factory=list)   # (lock, owner, depth, reserver, acq, cacq)
+    #: This thread's LL/SC reservation at region entry (None = none held).
+    #: An abort rewinds the reservation station along with the heap.
+    reservation: int | None = None
 
 
 class RegionRollback(Exception):
@@ -166,7 +170,8 @@ class IRExecutor:
                 if checkpoint is not None:
                     raise VMError("nested REGION_BEGIN")
                 checkpoint = _Checkpoint(
-                    begin_block=block, region_id=term.attrs.get("region_id")
+                    begin_block=block, region_id=term.attrs.get("region_id"),
+                    reservation=self.heap.reservations.get(MAIN_THREAD),
                 )
                 self.regions_entered += 1
                 prev, block = (block, 0), block.succs[0]
@@ -198,6 +203,10 @@ class IRExecutor:
             lock.reserver = reserver
             lock.acquisitions = acq
             lock.contended_acquisitions = cacq
+        if checkpoint.reservation is None:
+            self.heap.clear_reservation(MAIN_THREAD)
+        else:
+            self.heap.set_reservation(MAIN_THREAD, checkpoint.reservation)
 
     def _log_field_write(
         self, checkpoint: _Checkpoint | None, obj: GuestObject, slot: int
@@ -307,6 +316,11 @@ class IRExecutor:
             slot = obj.field_index[node.attrs["field"]]
             self._log_field_write(checkpoint, obj, slot)
             obj.slots[slot] = get(1)
+            if self.heap.reservations:
+                self.heap.kill_reservations(
+                    MAIN_THREAD, obj.field_address(node.attrs["field"]),
+                    DEFAULT_LINE_SHIFT,
+                )
         elif kind is Kind.ASTORE:
             arr, idx = get(0), get(1)
             if not 0 <= idx < len(arr.values):
@@ -315,6 +329,55 @@ class IRExecutor:
                 raise BoundsError(idx, len(arr.values))
             self._log_array_write(checkpoint, arr, idx)
             arr.values[idx] = get(2)
+            if self.heap.reservations:
+                self.heap.kill_reservations(
+                    MAIN_THREAD, arr.element_address(idx), DEFAULT_LINE_SHIFT
+                )
+        elif kind is Kind.FAA:
+            obj = get(0)
+            slot = obj.field_index[node.attrs["field"]]
+            old = obj.slots[slot]
+            self._log_field_write(checkpoint, obj, slot)
+            obj.slots[slot] = wrap_int(old + get(1))
+            env[node.id] = old
+            if self.heap.reservations:
+                self.heap.kill_reservations(
+                    MAIN_THREAD, obj.field_address(node.attrs["field"]),
+                    DEFAULT_LINE_SHIFT,
+                )
+        elif kind is Kind.CAS:
+            obj = get(0)
+            slot = obj.field_index[node.attrs["field"]]
+            ok = compare("eq", obj.slots[slot], get(1))
+            env[node.id] = 1 if ok else 0
+            if ok:
+                self._log_field_write(checkpoint, obj, slot)
+                obj.slots[slot] = get(2)
+                if self.heap.reservations:
+                    self.heap.kill_reservations(
+                        MAIN_THREAD, obj.field_address(node.attrs["field"]),
+                        DEFAULT_LINE_SHIFT,
+                    )
+        elif kind is Kind.LL:
+            obj = get(0)
+            env[node.id] = obj.get(node.attrs["field"])
+            self.heap.set_reservation(
+                MAIN_THREAD, obj.field_address(node.attrs["field"])
+            )
+        elif kind is Kind.SC:
+            obj = get(0)
+            address = obj.field_address(node.attrs["field"])
+            ok = self.heap.check_reservation(MAIN_THREAD, address)
+            self.heap.clear_reservation(MAIN_THREAD)
+            env[node.id] = 1 if ok else 0
+            if ok:
+                slot = obj.field_index[node.attrs["field"]]
+                self._log_field_write(checkpoint, obj, slot)
+                obj.slots[slot] = get(1)
+                if self.heap.reservations:
+                    self.heap.kill_reservations(
+                        MAIN_THREAD, address, DEFAULT_LINE_SHIFT
+                    )
         elif kind is Kind.CHECK_NULL:
             if get(0) is None:
                 self._check_failed(node, checkpoint, "null dereference")

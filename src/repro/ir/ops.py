@@ -65,6 +65,14 @@ class Kind(enum.Enum):
     PUTFIELD = enum.auto()       # operands: obj, value; attrs: field
     ASTORE = enum.auto()         # operands: arr, idx, value
 
+    # Atomic read-modify-write primitives (value-producing effects: they
+    # both read and write memory in one indivisible uop, so they are never
+    # CSE'd, hoisted, or removed, and they kill every memory fact).
+    FAA = enum.auto()            # operands: obj, delta;          attrs: field
+    CAS = enum.auto()            # operands: obj, expected, new;  attrs: field
+    LL = enum.auto()             # operands: obj;                 attrs: field
+    SC = enum.auto()             # operands: obj, value;          attrs: field
+
     # Safety checks: pure predicates that trap (or, inside an atomic
     # region, abort) when violated.
     CHECK_NULL = enum.auto()     # operands: ref
@@ -101,6 +109,7 @@ VALUE_KINDS = frozenset({
     Kind.ADD, Kind.SUB, Kind.MUL, Kind.DIV, Kind.MOD, Kind.AND, Kind.OR,
     Kind.XOR, Kind.SHL, Kind.SHR, Kind.CLASSOF, Kind.ALEN, Kind.GETFIELD,
     Kind.ALOAD, Kind.NEW, Kind.NEWARR, Kind.CALL, Kind.VCALL,
+    Kind.FAA, Kind.CAS, Kind.LL, Kind.SC,
 })
 
 #: Pure kinds: value depends only on operands; no side effects; cannot be
@@ -124,8 +133,11 @@ LOAD_KINDS = frozenset({Kind.GETFIELD, Kind.ALOAD})
 EFFECT_KINDS = frozenset({
     Kind.CALL, Kind.VCALL, Kind.PUTFIELD, Kind.ASTORE, Kind.MONITOR_ENTER,
     Kind.MONITOR_EXIT, Kind.SLE_ENTER, Kind.ASSERT, Kind.AREGION_END,
-    Kind.SAFEPOINT,
+    Kind.SAFEPOINT, Kind.FAA, Kind.CAS, Kind.LL, Kind.SC,
 })
+
+#: Atomic read-modify-write kinds (value-producing AND effectful).
+ATOMIC_KINDS = frozenset({Kind.FAA, Kind.CAS, Kind.LL, Kind.SC})
 
 #: Terminator kinds.
 TERMINATOR_KINDS = frozenset({

@@ -204,6 +204,42 @@ class MethodBuilder:
         self._emit(Instr(Op.ALEN, dst=dst, a=arr))
         return dst
 
+    # -- atomic read-modify-write -------------------------------------------
+    def faa(self, obj: Reg, fieldname: str, delta: Reg,
+            dst: Reg | None = None) -> Reg:
+        """Fetch-and-add: dst <- obj.field; obj.field <- dst + delta."""
+        dst = dst if dst is not None else self.fresh()
+        self._emit(Instr(Op.FAA, dst=dst, a=obj, b=delta, fieldname=fieldname))
+        return dst
+
+    def fai(self, obj: Reg, fieldname: str, dst: Reg | None = None) -> Reg:
+        """Fetch-and-increment: FAA with delta 1 (builder sugar)."""
+        one = self.const(1)
+        return self.faa(obj, fieldname, one, dst=dst)
+
+    def cas(self, obj: Reg, fieldname: str, expected: Reg, new: Reg,
+            dst: Reg | None = None) -> Reg:
+        """Compare-and-swap: dst <- 1 and store ``new`` iff the field still
+        equals ``expected``, else dst <- 0."""
+        dst = dst if dst is not None else self.fresh()
+        self._emit(Instr(Op.CAS, dst=dst, a=obj, b=expected, c=new,
+                         fieldname=fieldname))
+        return dst
+
+    def ll(self, obj: Reg, fieldname: str, dst: Reg | None = None) -> Reg:
+        """Load-linked: dst <- obj.field, reserving the address for SC."""
+        dst = dst if dst is not None else self.fresh()
+        self._emit(Instr(Op.LL, dst=dst, a=obj, fieldname=fieldname))
+        return dst
+
+    def sc(self, obj: Reg, fieldname: str, value: Reg,
+           dst: Reg | None = None) -> Reg:
+        """Store-conditional: dst <- 1 and store ``value`` iff this thread's
+        reservation on the address survived, else dst <- 0."""
+        dst = dst if dst is not None else self.fresh()
+        self._emit(Instr(Op.SC, dst=dst, a=obj, b=value, fieldname=fieldname))
+        return dst
+
     # -- calls --------------------------------------------------------------
     def call(self, method: str, args: tuple[Reg, ...] = (), dst: Reg | None = None) -> Reg:
         dst = dst if dst is not None else self.fresh()

@@ -58,6 +58,15 @@ class Op(enum.Enum):
     ASTORE = "astore"        # a[b] <- c             (null + bounds check)
     ALEN = "alen"            # dst <- length of a    (null check)
 
+    # Atomic read-modify-write primitives (null check, like GETF/PUTF).
+    # Each executes as ONE bytecode / one machine uop, so it is indivisible
+    # under the cooperative scheduler — the architectural contract contended
+    # workloads build on.
+    FAA = "faa"              # dst <- a.field; a.field <- dst + b   (fetch-and-add)
+    CAS = "cas"              # dst <- (a.field == b); if dst: a.field <- c
+    LL = "ll"                # dst <- a.field, and reserve the address
+    SC = "sc"                # dst <- reservation held; if dst: a.field <- b
+
     # Calls.
     CALL = "call"            # dst <- method(args)          (static dispatch)
     VCALL = "vcall"          # dst <- args[0].method(args)  (virtual dispatch)
@@ -81,8 +90,12 @@ REF_CONDITIONS = ("eq", "ne")
 PRODUCES = frozenset({
     Op.CONST, Op.CONST_NULL, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
     Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.NEW, Op.NEWARR, Op.GETF,
-    Op.ALOAD, Op.ALEN, Op.CALL, Op.VCALL,
+    Op.ALOAD, Op.ALEN, Op.CALL, Op.VCALL, Op.FAA, Op.CAS, Op.LL, Op.SC,
 })
+
+#: Atomic read-modify-write opcodes (all produce a value and carry a
+#: ``fieldname``).
+ATOMIC_OPS = frozenset({Op.FAA, Op.CAS, Op.LL, Op.SC})
 
 #: Binary integer arithmetic opcodes.
 BINOPS = frozenset({

@@ -70,7 +70,8 @@ def _validate_instr(program: Program, method: Method, pc: int, instr: Instr) -> 
     if instr.op == Op.NEW:
         if instr.cls not in program.classes:
             raise ValidationError(f"{where}: unknown class {instr.cls!r}")
-    if instr.op in (Op.GETF, Op.PUTF) and not instr.fieldname:
+    if instr.op in (Op.GETF, Op.PUTF, Op.FAA, Op.CAS, Op.LL, Op.SC) \
+            and not instr.fieldname:
         raise ValidationError(f"{where}: field access without a field name")
     if instr.op == Op.CALL:
         if instr.method not in program.methods:

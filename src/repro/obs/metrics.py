@@ -137,7 +137,8 @@ class Metrics:
             "context_switches", "loads", "stores", "branches", "mispredicts",
             "monitor_ops", "sle_elisions", "capacity_aborts",
             "fallback_lock_acquisitions", "fallback_lock_waits",
-            "setjmp_deliveries",
+            "setjmp_deliveries", "faa_ops", "cas_ops", "cas_failures",
+            "ll_ops", "sc_ops", "sc_failures",
         ):
             counters[name] = getattr(stats, name)
         counters["unique_regions"] = len(stats.unique_regions)
@@ -192,6 +193,12 @@ class Metrics:
                 "fallback_lock_acquisitions"),
             "fallback_lock_waits": self.counter("fallback_lock_waits"),
             "setjmp_deliveries": self.counter("setjmp_deliveries"),
+            "faa_ops": self.counter("faa_ops"),
+            "cas_ops": self.counter("cas_ops"),
+            "cas_failures": self.counter("cas_failures"),
+            "ll_ops": self.counter("ll_ops"),
+            "sc_ops": self.counter("sc_ops"),
+            "sc_failures": self.counter("sc_failures"),
         }
 
     def snapshot(self) -> dict:

@@ -21,6 +21,7 @@ _ROOT_KINDS = frozenset({
     Kind.MONITOR_ENTER, Kind.MONITOR_EXIT, Kind.SLE_ENTER,
     Kind.CHECK_NULL, Kind.CHECK_BOUNDS, Kind.CHECK_DIV0, Kind.CHECK_CLASS,
     Kind.ASSERT, Kind.AREGION_END, Kind.SAFEPOINT,
+    Kind.FAA, Kind.CAS, Kind.LL, Kind.SC,
 })
 
 

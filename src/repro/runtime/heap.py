@@ -152,6 +152,34 @@ class Heap:
         self.arrays_allocated = 0
         self.bytes_allocated = 0
         self.allocations: list[Union[GuestObject, GuestArray]] = []
+        #: LL/SC reservation station: tid -> reserved byte address.  One
+        #: reservation per hardware thread, killed by any *other* thread's
+        #: committed store to the same cache line (see
+        #: :meth:`kill_reservations`).  Microarchitectural state: it is
+        #: deliberately NOT part of :meth:`fingerprint`.
+        self.reservations: dict[int, int] = {}
+
+    # -- LL/SC reservations ---------------------------------------------------
+    def set_reservation(self, tid: int, address: int) -> None:
+        self.reservations[tid] = address
+
+    def clear_reservation(self, tid: int) -> None:
+        self.reservations.pop(tid, None)
+
+    def check_reservation(self, tid: int, address: int) -> bool:
+        return self.reservations.get(tid) == address
+
+    def kill_reservations(self, tid: int, address: int, line_shift: int) -> None:
+        """A committed store by ``tid`` kills every OTHER thread's
+        reservation on the same cache line (own reservations survive own
+        stores, like most LL/SC ISAs at line granularity)."""
+        line = address >> line_shift
+        doomed = [
+            t for t, reserved in self.reservations.items()
+            if t != tid and (reserved >> line_shift) == line
+        ]
+        for t in doomed:
+            del self.reservations[t]
 
     def _bump(self, size: int) -> int:
         base = self._cursor

@@ -20,6 +20,7 @@ from .errors import GuestArithmeticError, MonitorStateError, VMError
 from .heap import Heap, Value, require_array, require_object
 from .locks import MAIN_THREAD
 from .profile import ProfileStore
+from .sched import DEFAULT_LINE_SHIFT
 
 INT_BITS = 64
 _INT_MIN = -(1 << (INT_BITS - 1))
@@ -215,6 +216,11 @@ class Interpreter:
             elif op is Op.PUTF:
                 obj = require_object(regs[instr.a])
                 obj.put(instr.fieldname, regs[instr.b])
+                if self.heap.reservations:
+                    self.heap.kill_reservations(
+                        tid, obj.field_address(instr.fieldname),
+                        sched.line_shift if sched is not None
+                        else DEFAULT_LINE_SHIFT)
                 if sched is not None and sched.logging:
                     sched.note_store(obj.field_address(instr.fieldname))
             elif op is Op.ALOAD:
@@ -222,10 +228,65 @@ class Interpreter:
             elif op is Op.ASTORE:
                 arr = require_array(regs[instr.a])
                 arr.store(regs[instr.b], regs[instr.c])
+                if self.heap.reservations:
+                    self.heap.kill_reservations(
+                        tid, arr.element_address(regs[instr.b]),
+                        sched.line_shift if sched is not None
+                        else DEFAULT_LINE_SHIFT)
                 if sched is not None and sched.logging:
                     sched.note_store(arr.element_address(regs[instr.b]))
             elif op is Op.ALEN:
                 regs[instr.dst] = require_array(regs[instr.a]).length
+            elif op is Op.FAA:
+                # One bytecode, one on_step: indivisible under the
+                # cooperative scheduler, which is the whole point.
+                obj = require_object(regs[instr.a])
+                old = obj.get(instr.fieldname)
+                obj.put(instr.fieldname, wrap_int(old + regs[instr.b]))
+                regs[instr.dst] = old
+                address = obj.field_address(instr.fieldname)
+                if self.heap.reservations:
+                    self.heap.kill_reservations(
+                        tid, address,
+                        sched.line_shift if sched is not None
+                        else DEFAULT_LINE_SHIFT)
+                if sched is not None and sched.logging:
+                    sched.note_store(address)
+            elif op is Op.CAS:
+                obj = require_object(regs[instr.a])
+                current = obj.get(instr.fieldname)
+                ok = compare("eq", current, regs[instr.b])
+                regs[instr.dst] = 1 if ok else 0
+                if ok:
+                    obj.put(instr.fieldname, regs[instr.c])
+                    address = obj.field_address(instr.fieldname)
+                    if self.heap.reservations:
+                        self.heap.kill_reservations(
+                            tid, address,
+                            sched.line_shift if sched is not None
+                            else DEFAULT_LINE_SHIFT)
+                    if sched is not None and sched.logging:
+                        sched.note_store(address)
+            elif op is Op.LL:
+                obj = require_object(regs[instr.a])
+                regs[instr.dst] = obj.get(instr.fieldname)
+                self.heap.set_reservation(
+                    tid, obj.field_address(instr.fieldname))
+            elif op is Op.SC:
+                obj = require_object(regs[instr.a])
+                address = obj.field_address(instr.fieldname)
+                ok = self.heap.check_reservation(tid, address)
+                self.heap.clear_reservation(tid)
+                regs[instr.dst] = 1 if ok else 0
+                if ok:
+                    obj.put(instr.fieldname, regs[instr.b])
+                    if self.heap.reservations:
+                        self.heap.kill_reservations(
+                            tid, address,
+                            sched.line_shift if sched is not None
+                            else DEFAULT_LINE_SHIFT)
+                    if sched is not None and sched.logging:
+                        sched.note_store(address)
             elif op is Op.CALL:
                 callee = self.program.resolve_static(instr.method)
                 call_args = [regs[r] for r in instr.args]

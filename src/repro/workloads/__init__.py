@@ -1,15 +1,29 @@
 """Synthetic DaCapo-shaped benchmarks (paper Table 2)."""
 
 from .base import Sample, ThreadedWorkload, Workload
+from .contention import (
+    PRIMITIVES,
+    SCENARIOS,
+    contention_workload,
+    counter_workload,
+    msqueue_workload,
+    ticket_workload,
+)
 from .dacapo import ALL_WORKLOADS, get_workload, workload_names
 from .hsqldb import THREADED as HSQLDB_THREADED
 
 __all__ = [
     "ALL_WORKLOADS",
     "HSQLDB_THREADED",
+    "PRIMITIVES",
+    "SCENARIOS",
     "Sample",
     "ThreadedWorkload",
     "Workload",
+    "contention_workload",
+    "counter_workload",
     "get_workload",
+    "msqueue_workload",
+    "ticket_workload",
     "workload_names",
 ]

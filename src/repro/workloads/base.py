@@ -84,6 +84,24 @@ class ThreadedWorkload:
     #: worker argument lists used (each against a fresh setup object) to
     #: warm profiles before compilation.
     warm_args: list[list] = field(default_factory=list)
+    #: the workers are interchangeable (identical code, commutative effect
+    #: on the shared state), so one serial order represents them all and
+    #: the oracle need not enumerate ``threads!`` permutations.  Required
+    #: for the high-thread-count contention scenarios, where enumerating
+    #: permutations is infeasible.
+    symmetric: bool = False
+    #: whole-thread serializability holds for this workload: a threaded
+    #: run's results/heap must equal *some* serial order of the workers.
+    #: False for workloads whose outcome legitimately depends on the
+    #: interleaving (e.g. competing queue consumers — which consumer gets
+    #: which item is schedule-determined); those are checked by replay
+    #: determinism plus :attr:`invariants` instead.
+    serializable: bool = True
+    #: linearizability invariants, each ``fn(shared, results, heap) ->
+    #: str | None`` — ``shared`` is the setup object after the threaded
+    #: run, ``results`` the per-thread worker returns in tid order; a
+    #: non-None return describes the violation.
+    invariants: list = field(default_factory=list)
 
     @property
     def threads(self) -> int:

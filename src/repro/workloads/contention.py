@@ -1,0 +1,474 @@
+"""High-contention scaling scenarios built on the atomic primitives.
+
+Three classic shared-memory scenarios, each implementable with every
+architectural primitive the machine offers (``FAA``, a ``CAS`` retry loop,
+an ``LL``/``SC`` retry loop, or monitor-based locking — which the atomic
+compiler config turns into elided-lock regions):
+
+- **counter** — N workers bump one shared counter.  The canonical
+  lost-update benchmark: FAA is indivisible (one uop), so its cost per
+  increment is flat in the thread count, while the CAS/LL-SC loops span
+  several guest steps and their retry traffic grows superlinearly as
+  threads pile onto the line.
+- **ticket** — a ticket lock (Mellor-Crummey/Scott style): FAA on
+  ``next_ticket`` to acquire, spin on ``now_serving``, non-atomic critical
+  section guarded only by the protocol.  The critical section stamps an
+  ``owner`` field and checks it on entry, so any mutual-exclusion failure
+  is observed *by the guest itself* and returned from the worker.
+- **msqueue** — a Michael-Scott-flavoured bounded queue: producers claim
+  slots by advancing ``tail``, consumers claim by advancing ``head`` (CAS
+  class, so an empty check can precede the claim) and wait for the slot's
+  value to appear.  Items encode ``(producer << 16) | seq`` so FIFO order
+  per producer is checkable from the consumer logs alone.
+
+Worker *results* are schedule-independent by construction (counts and
+violation tallies, never raw interleaving-dependent values), so counter and
+ticket runs are whole-thread serializable and the oracle can match them
+against a serial order.  Which consumer pops which item **is** legitimately
+schedule-dependent, so the queue workload sets ``serializable=False`` and
+is checked by its linearizability invariants instead (FIFO per producer,
+no loss, no duplication).
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from .base import ThreadedWorkload
+
+#: every way each scenario can implement its atomic step.
+PRIMITIVES = ("faa", "cas", "llsc", "lock")
+
+#: the scenarios themselves.
+SCENARIOS = ("counter", "ticket", "msqueue")
+
+
+def _check_primitive(primitive: str) -> None:
+    if primitive not in PRIMITIVES:
+        raise ValueError(f"unknown primitive {primitive!r}; "
+                         f"expected one of {PRIMITIVES}")
+
+
+# -- shared counter ----------------------------------------------------------
+
+def build_counter(primitive: str):
+    """One shared ``Counter``; ``worker(c, iters)`` bumps it ``iters`` times."""
+    _check_primitive(primitive)
+    pb = ProgramBuilder()
+    pb.cls("Counter", fields=["n"])
+
+    if primitive == "lock":
+        inc = pb.method("inc", params=("this",), owner="Counter",
+                        synchronized=True)
+        this = inc.param(0)
+        v = inc.getfield(this, "n")
+        one = inc.const(1)
+        v2 = inc.add(v, one)
+        inc.putfield(this, "n", v2)
+        inc.ret(v2)
+
+    s = pb.method("setup")
+    c = s.new("Counter")
+    s.ret(c)
+
+    w = pb.method("worker", params=("c", "iters"))
+    c, iters = w.param(0), w.param(1)
+    zero = w.const(0)
+    one = w.const(1)
+    i = w.const(0)
+    w.label("head")
+    w.safepoint()
+    w.br("ge", i, iters, "done")
+    if primitive == "faa":
+        w.faa(c, "n", one)
+    elif primitive == "cas":
+        w.label("retry")
+        w.safepoint()
+        old = w.getfield(c, "n")
+        nv = w.add(old, one)
+        ok = w.cas(c, "n", old, nv)
+        w.br("eq", ok, zero, "retry")
+    elif primitive == "llsc":
+        w.label("retry")
+        w.safepoint()
+        v = w.ll(c, "n")
+        nv = w.add(v, one)
+        ok = w.sc(c, "n", nv)
+        w.br("eq", ok, zero, "retry")
+    else:  # lock
+        w.vcall(c, "inc")
+    w.add(i, one, dst=i)
+    w.jmp("head")
+    w.label("done")
+    w.ret(iters)
+    return pb.build()
+
+
+def _counter_total_invariant(expected: int):
+    def check(shared, results, heap):
+        n = shared.get("n")
+        if n != expected:
+            return (f"counter total {n} != {expected} "
+                    f"(lost updates: {expected - n})")
+        return None
+    return check
+
+
+def counter_workload(primitive: str, threads: int,
+                     iters: int = 4) -> ThreadedWorkload:
+    return ThreadedWorkload(
+        name=f"contend-counter-{primitive}-t{threads}",
+        description=(f"{threads} workers bump one shared counter via "
+                     f"{primitive} ({iters} increments each)"),
+        build=lambda: build_counter(primitive),
+        setup="setup",
+        worker="worker",
+        thread_args=[[iters] for _ in range(threads)],
+        warm_args=[[3]] * 3,
+        symmetric=True,
+        invariants=[_counter_total_invariant(threads * iters)],
+    )
+
+
+# -- ticket lock -------------------------------------------------------------
+
+def build_ticket(primitive: str):
+    """Ticket lock protecting a non-atomic critical section.
+
+    ``worker(lk, iters, me)`` performs ``iters`` acquire/increment/release
+    rounds; ``me`` (nonzero, unique per thread) stamps the ``owner`` field
+    inside the critical section.  The worker returns the number of
+    mutual-exclusion violations it *observed* (another thread's stamp live
+    at entry) — zero when the protocol holds.
+    """
+    _check_primitive(primitive)
+    pb = ProgramBuilder()
+    pb.cls("TicketLock",
+           fields=["next_ticket", "now_serving", "owner", "crit"])
+
+    s = pb.method("setup")
+    lk = s.new("TicketLock")
+    s.ret(lk)
+
+    w = pb.method("worker", params=("lk", "iters", "me"))
+    lk, iters, me = w.param(0), w.param(1), w.param(2)
+    zero = w.const(0)
+    one = w.const(1)
+    i = w.const(0)
+    violations = w.const(0)
+    w.label("head")
+    w.safepoint()
+    w.br("ge", i, iters, "done")
+    # -- acquire ----------------------------------------------------------
+    if primitive == "faa":
+        t = w.faa(lk, "next_ticket", one)
+    elif primitive == "cas":
+        t = w.fresh()
+        w.label("acq")
+        w.safepoint()
+        t0 = w.getfield(lk, "next_ticket")
+        t1 = w.add(t0, one)
+        ok = w.cas(lk, "next_ticket", t0, t1)
+        w.br("eq", ok, zero, "acq")
+        w.mov(t0, dst=t)
+    elif primitive == "llsc":
+        t = w.fresh()
+        w.label("acq")
+        w.safepoint()
+        t0 = w.ll(lk, "next_ticket")
+        t1 = w.add(t0, one)
+        ok = w.sc(lk, "next_ticket", t1)
+        w.br("eq", ok, zero, "acq")
+        w.mov(t0, dst=t)
+    else:  # lock: the monitor *is* the lock; no ticket protocol
+        t = None
+        w.monitor_enter(lk)
+    if t is not None:
+        w.label("spin")
+        w.safepoint()
+        sv = w.getfield(lk, "now_serving")
+        w.br("ne", sv, t, "spin")
+    # -- critical section (plain loads/stores; the lock is the only guard) --
+    own = w.getfield(lk, "owner")
+    w.br("eq", own, zero, "excl_ok")
+    w.add(violations, one, dst=violations)
+    w.label("excl_ok")
+    w.putfield(lk, "owner", me)
+    cv = w.getfield(lk, "crit")
+    cv2 = w.add(cv, one)
+    w.putfield(lk, "crit", cv2)
+    w.putfield(lk, "owner", zero)
+    # -- release ----------------------------------------------------------
+    if t is None:
+        w.monitor_exit(lk)
+    else:
+        t2 = w.add(t, one)
+        w.putfield(lk, "now_serving", t2)
+    w.add(i, one, dst=i)
+    w.jmp("head")
+    w.label("done")
+    w.ret(violations)
+    return pb.build()
+
+
+def _ticket_invariant(total: int, ticketed: bool):
+    def check(shared, results, heap):
+        problems = []
+        if any(r != 0 for r in results):
+            problems.append(
+                f"mutual-exclusion violations observed by workers: {results}")
+        crit = shared.get("crit")
+        if crit != total:
+            problems.append(f"critical-section count {crit} != {total}")
+        if shared.get("owner") != 0:
+            problems.append(f"owner stamp {shared.get('owner')} left set")
+        if ticketed:
+            nt = shared.get("next_ticket")
+            ns = shared.get("now_serving")
+            if nt != total or ns != total:
+                problems.append(
+                    f"ticket counters next={nt} serving={ns} != {total}")
+        return "; ".join(problems) or None
+    return check
+
+
+def ticket_workload(primitive: str, threads: int,
+                    iters: int = 4) -> ThreadedWorkload:
+    return ThreadedWorkload(
+        name=f"contend-ticket-{primitive}-t{threads}",
+        description=(f"{threads} workers round-trip a ticket lock via "
+                     f"{primitive} ({iters} critical sections each)"),
+        build=lambda: build_ticket(primitive),
+        setup="setup",
+        worker="worker",
+        thread_args=[[iters, tid + 1] for tid in range(threads)],
+        warm_args=[[3, 99]] * 3,
+        symmetric=True,
+        invariants=[_ticket_invariant(threads * iters,
+                                      ticketed=primitive != "lock")],
+    )
+
+
+# -- bounded MS-style queue --------------------------------------------------
+
+def build_msqueue(primitive: str, producers: int, consumers: int,
+                  items: int):
+    """Bounded array queue: producers advance ``tail``, consumers ``head``.
+
+    Capacity equals the total item count, so indices never wrap and a
+    claimed slot is claimed exactly once.  A consumer's pop must not pass
+    ``tail``, so the empty check and the ``head`` bump form a CAS-class
+    retry loop even in the ``faa`` build (an unconditional fetch-and-add on
+    ``head`` could overrun the queue); the ``faa`` build keeps FAA on the
+    producer side, which is where the primitive is safe.
+    """
+    _check_primitive(primitive)
+    total = producers * items
+    if total % consumers != 0:
+        raise ValueError(
+            f"total items {total} not divisible by {consumers} consumers")
+    quota = total // consumers
+
+    pb = ProgramBuilder()
+    pb.cls("Queue", fields=["slots", "head", "tail", "logs"])
+
+    s = pb.method("setup")
+    q = s.new("Queue")
+    cap = s.const(total)
+    slots = s.newarr(cap)
+    s.putfield(q, "slots", slots)
+    nc = s.const(consumers)
+    logs = s.newarr(nc)
+    s.putfield(q, "logs", logs)
+    qn = s.const(quota)
+    one = s.const(1)
+    i = s.const(0)
+    s.label("mk")
+    s.br("ge", i, nc, "mkdone")
+    log = s.newarr(qn)
+    s.astore(logs, i, log)
+    s.add(i, one, dst=i)
+    s.jmp("mk")
+    s.label("mkdone")
+    s.ret(q)
+
+    w = pb.method(
+        "worker", params=("q", "me", "produce_n", "consume_n", "log_slot"))
+    q = w.param(0)
+    me = w.param(1)
+    produce_n = w.param(2)
+    consume_n = w.param(3)
+    log_slot = w.param(4)
+    zero = w.const(0)
+    one = w.const(1)
+    sixteen = w.const(16)
+    slots = w.getfield(q, "slots")
+
+    # -- produce ----------------------------------------------------------
+    j = w.const(0)
+    w.label("prod")
+    w.safepoint()
+    w.br("ge", j, produce_n, "proddone")
+    seq = w.add(j, one)
+    hi = w.shl(me, sixteen)
+    item = w.or_(hi, seq)
+    if primitive == "faa":
+        idx = w.faa(q, "tail", one)
+    elif primitive == "cas":
+        idx = w.fresh()
+        w.label("eacq")
+        w.safepoint()
+        t0 = w.getfield(q, "tail")
+        t1 = w.add(t0, one)
+        ok = w.cas(q, "tail", t0, t1)
+        w.br("eq", ok, zero, "eacq")
+        w.mov(t0, dst=idx)
+    elif primitive == "llsc":
+        idx = w.fresh()
+        w.label("eacq")
+        w.safepoint()
+        t0 = w.ll(q, "tail")
+        t1 = w.add(t0, one)
+        ok = w.sc(q, "tail", t1)
+        w.br("eq", ok, zero, "eacq")
+        w.mov(t0, dst=idx)
+    else:  # lock
+        idx = w.fresh()
+        w.monitor_enter(q)
+        t0 = w.getfield(q, "tail")
+        t1 = w.add(t0, one)
+        w.putfield(q, "tail", t1)
+        w.monitor_exit(q)
+        w.mov(t0, dst=idx)
+    w.astore(slots, idx, item)
+    w.add(j, one, dst=j)
+    w.jmp("prod")
+    w.label("proddone")
+
+    # -- consume ----------------------------------------------------------
+    logsarr = w.getfield(q, "logs")
+    mylog = w.aload(logsarr, log_slot)
+    k = w.const(0)
+    w.label("cons")
+    w.safepoint()
+    w.br("ge", k, consume_n, "consdone")
+    cidx = w.fresh()
+    if primitive == "lock":
+        w.label("pacq")
+        w.safepoint()
+        w.monitor_enter(q)
+        h0 = w.getfield(q, "head")
+        t0 = w.getfield(q, "tail")
+        w.br("lt", h0, t0, "claim")
+        w.monitor_exit(q)
+        w.jmp("pacq")
+        w.label("claim")
+        h1 = w.add(h0, one)
+        w.putfield(q, "head", h1)
+        w.monitor_exit(q)
+        w.mov(h0, dst=cidx)
+    elif primitive == "llsc":
+        w.label("pacq")
+        w.safepoint()
+        h0 = w.ll(q, "head")
+        t0 = w.getfield(q, "tail")
+        w.br("ge", h0, t0, "pacq")
+        h1 = w.add(h0, one)
+        ok = w.sc(q, "head", h1)
+        w.br("eq", ok, zero, "pacq")
+        w.mov(h0, dst=cidx)
+    else:  # faa, cas: empty-checked CAS pop
+        w.label("pacq")
+        w.safepoint()
+        h0 = w.getfield(q, "head")
+        t0 = w.getfield(q, "tail")
+        w.br("ge", h0, t0, "pacq")
+        h1 = w.add(h0, one)
+        ok = w.cas(q, "head", h0, h1)
+        w.br("eq", ok, zero, "pacq")
+        w.mov(h0, dst=cidx)
+    # the slot index is claimed before the value lands: wait for it.
+    w.label("fill")
+    w.safepoint()
+    v = w.aload(slots, cidx)
+    w.br("eq", v, zero, "fill")
+    w.astore(mylog, k, v)
+    w.add(k, one, dst=k)
+    w.jmp("cons")
+    w.label("consdone")
+    out = w.add(produce_n, consume_n)
+    w.ret(out)
+    return pb.build()
+
+
+def _queue_invariant(producers: int, consumers: int, items: int):
+    def check(shared, results, heap):
+        problems = []
+        logs = shared.get("logs")
+        consumed = []
+        for ci in range(consumers):
+            log = logs.values[ci]
+            last_seq: dict[int, int] = {}
+            for v in log.values:
+                if v == 0:
+                    problems.append(f"consumer {ci}: unfilled log slot")
+                    continue
+                pid, seq = v >> 16, v & 0xFFFF
+                prev = last_seq.get(pid)
+                if prev is not None and seq <= prev:
+                    problems.append(
+                        f"consumer {ci}: producer {pid} out of FIFO order "
+                        f"(seq {seq} after {prev})")
+                last_seq[pid] = seq
+                consumed.append((pid, seq))
+        expected = [(p, s) for p in range(1, producers + 1)
+                    for s in range(1, items + 1)]
+        if sorted(consumed) != expected:
+            problems.append(
+                f"consumed {len(consumed)} items; multiset != produced "
+                f"({producers}x{items}): loss or duplication")
+        return "; ".join(problems) or None
+    return check
+
+
+def msqueue_workload(primitive: str, threads: int,
+                     items: int = 4) -> ThreadedWorkload:
+    """``threads`` splits evenly into producers and consumers (min 1+1)."""
+    producers = max(1, threads // 2)
+    consumers = max(1, threads - producers)
+    total = producers * items
+    if total % consumers != 0:
+        # round the per-producer count up so consumers divide the total.
+        while (producers * items) % consumers != 0:
+            items += 1
+        total = producers * items
+    quota = total // consumers
+    thread_args = (
+        [[pid + 1, items, 0, 0] for pid in range(producers)]
+        + [[0, 0, quota, ci] for ci in range(consumers)]
+    )
+    return ThreadedWorkload(
+        name=f"contend-msqueue-{primitive}-t{producers + consumers}",
+        description=(f"{producers} producers / {consumers} consumers on a "
+                     f"bounded queue via {primitive} "
+                     f"({items} items per producer)"),
+        build=lambda: build_msqueue(primitive, producers, consumers, items),
+        setup="setup",
+        worker="worker",
+        thread_args=thread_args,
+        warm_args=[[1, 2, 2, 0]] * 3,
+        serializable=False,
+        invariants=[_queue_invariant(producers, consumers, items)],
+    )
+
+
+def contention_workload(scenario: str, primitive: str, threads: int,
+                        iters: int = 4) -> ThreadedWorkload:
+    """Factory over the full (scenario, primitive, threads) matrix."""
+    if scenario == "counter":
+        return counter_workload(primitive, threads, iters)
+    if scenario == "ticket":
+        return ticket_workload(primitive, threads, iters)
+    if scenario == "msqueue":
+        return msqueue_workload(primitive, threads, iters)
+    raise ValueError(f"unknown scenario {scenario!r}; "
+                     f"expected one of {SCENARIOS}")

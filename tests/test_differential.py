@@ -252,6 +252,108 @@ class TestHTMVariantEquivalence:
         assert total > 0
 
 
+#: deterministic atomic-uop programs (scenario builders driven
+#: single-threaded): name -> (program factory, warm worker args, run
+#: worker args).  Warm and run args differ so compiled code sees operand
+#: shapes the profile never did.
+def _atomic_cases():
+    from repro.workloads.contention import (
+        build_counter, build_msqueue, build_ticket,
+    )
+
+    cases = []
+    for primitive in ("faa", "cas", "llsc", "lock"):
+        cases.append((f"counter-{primitive}",
+                      lambda p=primitive: build_counter(p), [3], [12]))
+    for primitive in ("faa", "llsc"):
+        cases.append((f"ticket-{primitive}",
+                      lambda p=primitive: build_ticket(p), [2, 9], [6, 7]))
+    for primitive in ("cas", "lock"):
+        cases.append((f"msqueue-{primitive}",
+                      lambda p=primitive: build_msqueue(p, 1, 1, 4),
+                      [1, 2, 2, 0], [1, 4, 4, 0]))
+    return cases
+
+
+ATOMIC_CASES = _atomic_cases()
+
+
+def _run_atomic(build, warm_args, run_args, tracer=None, timing=True,
+                dispatch="auto", hw=None):
+    """Tiered run of a contention worker: returns (value, heap fp, stats)."""
+    kwargs = {} if hw is None else {"hw_config": hw}
+    vm = TieredVM(
+        build(),
+        ATOMIC_AGGRESSIVE,
+        options=VMOptions(enable_timing=timing, compile_threshold=1,
+                          dispatch=dispatch),
+        tracer=tracer,
+        **kwargs,
+    )
+    for _ in range(3):
+        warm_shared = vm.run("setup")  # fresh state per warm invocation
+        vm.warm_up("worker", [[warm_shared] + list(warm_args)])
+    vm.compile_hot(min_invocations=1)
+    shared = vm.run("setup")
+    vm.start_measurement()
+    value = vm.run("worker", [shared] + list(run_args))
+    stats = vm.end_measurement()
+    return value, vm.heap.fingerprint(), stats
+
+
+class TestAtomicUopEquivalence:
+    """The atomic primitives are execution-strategy invariant: every
+    FAA/CAS/LL-SC/monitor program produces a byte-identical outcome (return
+    value, heap fingerprint, ``ExecStats.summary()`` — which now carries
+    the atomic-uop counters) across the interpretive loop, the pre-decoded
+    fast path, tracing on/off, and every best-effort HTM shape."""
+
+    @pytest.mark.parametrize("name,build,warm,run",
+                             ATOMIC_CASES,
+                             ids=[c[0] for c in ATOMIC_CASES])
+    def test_dispatch_modes_byte_identical(self, name, build, warm, run):
+        fast = _run_atomic(build, warm, run, dispatch="predecoded")
+        slow = _run_atomic(build, warm, run, dispatch="interpretive")
+        assert fast[0] == slow[0], f"{name}: return values diverged"
+        assert fast[1] == slow[1], f"{name}: heap fingerprints diverged"
+        assert fast[2].summary() == slow[2].summary(), (
+            f"{name}: dispatch modes disagree on ExecStats"
+        )
+        # The sweep must actually execute atomic uops to prove anything.
+        summary = fast[2].summary()
+        if "lock" not in name:
+            assert (summary["faa_ops"] + summary["cas_ops"]
+                    + summary["sc_ops"]) > 0, f"{name}: no atomic uops ran"
+
+    @pytest.mark.parametrize("name,build,warm,run",
+                             ATOMIC_CASES,
+                             ids=[c[0] for c in ATOMIC_CASES])
+    def test_tracing_is_inert(self, name, build, warm, run):
+        null = _run_atomic(build, warm, run)
+        tracer = Tracer()
+        traced = _run_atomic(build, warm, run, tracer=tracer)
+        assert traced[0] == null[0]
+        assert traced[1] == null[1]
+        assert traced[2].summary() == null[2].summary()
+        replay = Tracer()
+        _run_atomic(build, warm, run, tracer=replay)
+        assert replay.events == tracer.events
+        assert replay.emitted == tracer.emitted
+
+    @pytest.mark.parametrize("name,build,warm,run",
+                             ATOMIC_CASES,
+                             ids=[c[0] for c in ATOMIC_CASES])
+    def test_htm_variants_agree(self, name, build, warm, run):
+        from repro.hw import htm_variant_configs
+
+        base_value, base_fp, _ = _run_atomic(build, warm, run, timing=False)
+        for hw in htm_variant_configs():
+            value, fp, _ = _run_atomic(build, warm, run, timing=False, hw=hw)
+            assert (value, fp) == (base_value, base_fp), (
+                f"{name}: {hw.name} diverged from unbounded baseline"
+            )
+
+
 class TestParallelSweepEquivalence:
     """The sharded parallel runner merges deterministically: parallel and
     serial sweeps over the same seeds/cells are byte-identical."""

@@ -93,6 +93,24 @@ def _htm_figure() -> FigureData:
     return data
 
 
+def _contention_figure():
+    """A contention-scaling-shaped table: scenario/primitive/thread rows
+    with throughput, retry, abort, and oracle columns."""
+    data = FigureData(
+        title="Contention scaling: shared-memory primitives vs. threads",
+        columns=["ops/kstep", "steps/op", "retries/op", "aborts", "oracle"],
+    )
+    data.add("counter/faa/t2", [114.29, 8.75, 0.0, 0.0, 1.0])
+    data.add("counter/faa/t64", [114.29, 8.75, 0.0, 0.0, 1.0])
+    data.add("counter/cas/t2", [90.91, 11.0, 0.0, 0.0, 1.0])
+    data.add("counter/cas/t64", [34.18, 29.26, 0.09, 0.0, 1.0])
+    data.add("ticket/lock-sle/t8", [4.42, 226.22, 0.41, 48.0, 1.0])
+    data.notes.append(
+        "oracle 1.00 = the threaded run matched a serial order "
+        "(or every linearizability invariant, for msqueue)")
+    return data
+
+
 def _concurrency_report() -> ConcurrencyReport:
     def stats(switches, real, injected, contended, per_thread):
         s = ExecStats()
@@ -159,6 +177,40 @@ class TestFigureTables:
         assert_matches_golden(
             "figure_all.txt", render_all([_figure(), _mixed_figure()])
         )
+
+
+class TestContentionTable:
+    def test_contention_scaling_table(self):
+        """The contention figure renders scenario/primitive/thread rows
+        through the same aligned-table path as the paper figures."""
+        assert_matches_golden("figure_contention.txt",
+                              render(_contention_figure()))
+
+    def test_single_thread_figure_regenerates_unchanged(self):
+        """Invariance contract, deliberately pinning *values*: at
+        threads=1 there is no contention, so every cell of the real
+        contention figure is a deterministic single-threaded execution.
+        Drift here means the atomic-uop semantics or the timing model
+        changed underneath the published figures — exactly what this PR
+        promises not to do."""
+        from repro.harness import figure_contention
+
+        data = figure_contention(
+            scenarios=("counter",),
+            primitives=("faa", "cas", "llsc", "lock"),
+            threads=(1,), iters=4, seed=0,
+        )
+        assert_matches_golden("figure_contention_t1.txt", render(data))
+
+    def test_contention_is_not_a_paper_figure(self):
+        """``all_figures`` composition is pinned: the contention study is
+        additive and must not ride into the published figure list."""
+        import inspect
+
+        from repro.harness import all_figures
+
+        body = inspect.getsource(all_figures).rsplit('"""', 1)[1]
+        assert "figure_contention" not in body
 
 
 class TestConcurrencyReport:
