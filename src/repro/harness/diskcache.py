@@ -10,8 +10,17 @@ every key moves.
 The cache is opt-in (``REPRO_DISK_CACHE=1``) so tests and default runs
 never read state left by a previous process; the directory defaults to
 ``.repro-cache`` under the current directory (``REPRO_DISK_CACHE_DIR``
-overrides).  Writes are atomic (temp file + rename), so a crashed or
-concurrent writer can only ever leave a complete entry or none.
+overrides).  Writes are atomic (temp file, flush+fsync, then
+``os.replace``), so a crashed, SIGKILLed, or concurrent writer can only
+ever leave a complete entry or none — a torn entry is *impossible to
+observe* at the final path, not merely caught by the checksum.
+
+:class:`HotCache` adds an in-memory LRU layer in front of :func:`load`
+(the sweep server's memory-speed answer path): :func:`load_hot` consults
+the hot layer first, falls through to disk, and counts
+``hot_hits`` / ``disk_hits`` / ``misses`` alongside the module's
+``quarantined_entries`` — rendered by
+:func:`repro.harness.report.render_cache`.
 
 Entries are self-verifying: each file is ``magic + sha256(payload) +
 payload`` and :func:`load` re-hashes before unpickling, so raw pickle
@@ -29,6 +38,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 
 _TRUTHY = ("1", "true", "yes", "on")
@@ -135,6 +145,15 @@ def load(cell_key: tuple):
 def store(cell_key: tuple, result) -> None:
     """Persist ``result`` atomically; failures are non-fatal.
 
+    The entry is written to a temp file in the cache directory, flushed
+    *and fsynced*, and only then published with ``os.replace`` — so the
+    bytes at the final path are always a complete record, even if the
+    writer is SIGKILLed at any instant (a kill before the replace leaves
+    no entry; a kill after leaves the full one; the page cache can never
+    expose a prefix at the final name).  The checksum in :func:`load`
+    remains a second line of defence against bit rot, not the only thing
+    standing between a torn write and a bad unpickle.
+
     *Any* failure — OSError on the temp file, but equally a
     ``PicklingError`` on an unpicklable result — leaves no temp litter
     and no entry; the next run simply recomputes the cell.
@@ -149,6 +168,8 @@ def store(cell_key: tuple, result) -> None:
                 handle.write(_MAGIC)
                 handle.write(hashlib.sha256(payload).digest())
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -158,3 +179,106 @@ def store(cell_key: tuple, result) -> None:
             raise
     except Exception:
         pass
+
+
+# -- in-memory LRU hot layer ---------------------------------------------------
+
+def hot_capacity_default() -> int:
+    """``REPRO_HOT_CACHE_SIZE`` if set and sane, else 256 entries."""
+    env = os.environ.get("REPRO_HOT_CACHE_SIZE")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 256
+
+
+class HotCache:
+    """A bounded LRU of deserialized results in front of :func:`load`.
+
+    The disk cache answers in milliseconds (read + sha256 + unpickle);
+    a long-running sweep server answering the same hot cells to many
+    tenants wants memory speed.  :meth:`get` consults the LRU first and
+    falls through to the disk entry (promoting it on a hit), counting
+    every outcome: ``hot_hits`` (answered from memory), ``disk_hits``
+    (answered from disk, now promoted), ``misses`` (nowhere — compute).
+
+    Not thread-safe by design: the sweep server mutates it only from its
+    event loop, and sweeps use one instance per process.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = (hot_capacity_default()
+                         if capacity is None else max(1, int(capacity)))
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hot_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, cell_key: tuple, disk: bool = True):
+        """``(result, source)`` — source is ``"hot"``, ``"disk"``, or
+        ``None`` on a miss.  ``disk=False`` skips the disk fall-through
+        (a server running with the disk cache disabled still gets the
+        memory layer)."""
+        if cell_key in self._entries:
+            self._entries.move_to_end(cell_key)
+            self.hot_hits += 1
+            return self._entries[cell_key], "hot"
+        if disk:
+            result = load(cell_key)
+            if result is not None:
+                self.disk_hits += 1
+                self.put(cell_key, result)
+                return result, "disk"
+        self.misses += 1
+        return None, None
+
+    def put(self, cell_key: tuple, result, disk: bool = False) -> None:
+        """Install a computed result; ``disk=True`` also persists it
+        (atomically, via :func:`store`)."""
+        self._entries[cell_key] = result
+        self._entries.move_to_end(cell_key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        if disk:
+            store(cell_key, result)
+
+    def counters(self) -> dict:
+        """JSON-safe counter snapshot (includes the module-global
+        quarantine count: corrupt disk entries this process moved aside)."""
+        return {
+            "hot_hits": self.hot_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "quarantined": quarantined_entries,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hot_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+
+#: the shared default hot layer (one per process, like the memo table).
+_HOT = HotCache()
+
+
+def load_hot(cell_key: tuple, disk: bool = True):
+    """:meth:`HotCache.get` on the shared default instance."""
+    return _HOT.get(cell_key, disk=disk)
+
+
+def store_hot(cell_key: tuple, result, disk: bool = False) -> None:
+    """:meth:`HotCache.put` on the shared default instance."""
+    _HOT.put(cell_key, result, disk=disk)
+
+
+def clear_hot() -> None:
+    _HOT.clear()

@@ -60,9 +60,14 @@ HARDWARE_CONFIGS = {
 
 
 def default_workers() -> int:
-    """``REPRO_WORKERS`` if set, else 1 (serial; opt into parallelism).
+    """The harness-wide worker count: ``REPRO_WORKERS`` clamped to >= 1,
+    else 1 (serial; parallelism is opt-in).
 
-    A malformed value (``"four"``, ``"4x"``) falls back to serial with a
+    This is *the* one place worker counts come from — ``run_indexed``,
+    the sweep supervisor, and the sweep server all defer here, so one
+    environment variable steers every pool.  The value is clamped, not
+    trusted: ``REPRO_WORKERS=0`` or a negative count means serial, and a
+    malformed value (``"four"``, ``"4x"``) falls back to serial with a
     warning instead of raising ``ValueError`` deep inside a sweep — a
     bad environment variable must never kill hours of cells.
     """

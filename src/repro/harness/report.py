@@ -126,6 +126,27 @@ def render_supervisor(outcome, title: str = "sweep supervisor") -> str:
     return "\n".join(lines)
 
 
+def render_cache(counters: dict, title: str = "result cache") -> str:
+    """Render a cache counter snapshot (:meth:`~repro.harness.diskcache.
+    HotCache.counters`): hot/disk hits, misses, quarantined disk entries,
+    occupancy, and the answered-without-compute hit rate — the
+    at-a-glance answer to "how much work is the cache saving?"."""
+    hot = counters.get("hot_hits", 0)
+    disk = counters.get("disk_hits", 0)
+    miss = counters.get("misses", 0)
+    lookups = hot + disk + miss
+    hit_pct = (hot + disk) / lookups * 100.0 if lookups else 0.0
+    columns = ["hot", "disk", "miss", "quar", "entries", "cap", "hit%"]
+    rows = [(
+        "lookups",
+        [hot, disk, miss, counters.get("quarantined", 0),
+         counters.get("entries", 0), counters.get("capacity", 0),
+         hit_pct],
+    )]
+    body = _aligned_table("cache", 12, columns, rows, min_width=8)
+    return "\n".join([title, "-" * len(body[0])] + body)
+
+
 def render_timeline(events, limit: int | None = None,
                     title: str = "region-lifecycle timeline") -> str:
     """Render a list of :class:`~repro.obs.TraceEvent` as a text timeline.

@@ -55,6 +55,14 @@ from dataclasses import dataclass
 #: - ``pool_rebuild``    — rebuilds, reason (worker pool torn down/rebuilt)
 #: - ``quarantine``      — key, attempts, failure (cell exhausted its budget)
 #: - ``degrade_serial``  — rebuilds (pool gave up; remaining cells serial)
+#:
+#: Sweep-server lifecycle (``tid`` is the client id, ``ts`` the server's
+#: deterministic event sequence number):
+#:
+#: - ``request_accepted`` — request, cells (one validated submit)
+#: - ``cell_dedup``      — key, waiters (an in-flight cell gained a tenant)
+#: - ``cell_served``     — key, source (hot/disk/cold/failed), waiters
+#: - ``client_evicted``  — reason (a slow consumer lost its connection)
 EVENT_KINDS = (
     "region_enter",
     "region_commit",
@@ -74,6 +82,10 @@ EVENT_KINDS = (
     "pool_rebuild",
     "quarantine",
     "degrade_serial",
+    "request_accepted",
+    "cell_dedup",
+    "cell_served",
+    "client_evicted",
 )
 
 
@@ -182,6 +194,19 @@ class _TracerAPI:
 
     def degrade_serial(self, ts, rebuilds) -> None:
         self.emit("degrade_serial", ts, rebuilds=rebuilds)
+
+    # -- sweep server (tid = client id) ------------------------------------
+    def request_accepted(self, ts, tid, request, cells) -> None:
+        self.emit("request_accepted", ts, tid, request=request, cells=cells)
+
+    def cell_dedup(self, ts, tid, key, waiters) -> None:
+        self.emit("cell_dedup", ts, tid, key=key, waiters=waiters)
+
+    def cell_served(self, ts, key, source, waiters) -> None:
+        self.emit("cell_served", ts, key=key, source=source, waiters=waiters)
+
+    def client_evicted(self, ts, tid, reason) -> None:
+        self.emit("client_evicted", ts, tid, reason=reason)
 
 
 class NullTracer(_TracerAPI):

@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: the async multi-tenant sweep server.
+
+The harness's batch machinery (sharded parallel runner, checksummed disk
+cache, fault-tolerant supervisor) turned into a long-running service:
+
+- :class:`SweepServer` — asyncio TCP server speaking newline-delimited
+  JSON; validates experiment cells against the harness registries,
+  dedupes identical in-flight cells across tenants, answers cached cells
+  at memory speed through an LRU hot layer, and streams results,
+  progress, and Chrome traces with per-tenant fairness and backpressure
+  (DESIGN.md §13).
+- :class:`SweepClient` — the async client library (submit / sweep /
+  watch / stats), plus ``python -m repro.service`` for the CLI forms.
+- :mod:`repro.service.protocol` — the wire vocabulary, cell validation,
+  and the canonical result projection whose bytes are proven identical
+  to serial ``compute_cell`` runs.
+
+Determinism contract (the repo-wide invariant, one level up): any served
+cell's payload is byte-identical to a serial run — cold, deduped, or
+cached, under concurrent tenants and mid-stream disconnects.
+"""
+
+from .client import ServiceError, SubmitHandle, SweepClient
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    SERVICE_HARDWARE,
+    ProtocolError,
+    ServiceCell,
+    canonical_json,
+    compute_service_cell,
+    compute_service_cell_traced,
+    payload_digest,
+    result_payload,
+    validate_cell,
+)
+from .server import SweepServer
+
+__all__ = [
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "SERVICE_HARDWARE",
+    "ProtocolError",
+    "ServiceCell",
+    "ServiceError",
+    "SubmitHandle",
+    "SweepClient",
+    "SweepServer",
+    "canonical_json",
+    "compute_service_cell",
+    "compute_service_cell_traced",
+    "payload_digest",
+    "result_payload",
+    "validate_cell",
+]

@@ -140,6 +140,192 @@ class TestQuarantine:
         assert diskcache.load(key) == "healed"
 
 
+class TestAtomicPublish:
+    """ISSUE 9 satellite: SIGKILL-style truncated writes are impossible
+    to observe.  ``store`` publishes with temp-file + fsync +
+    ``os.replace``, so the final path only ever holds a complete record
+    — the checksum is a second line of defence, not the first."""
+
+    def test_fsync_happens_before_publish(self, cache, monkeypatch):
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append("fsync"), real_fsync(fd)))
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: (calls.append("replace"),
+                              real_replace(src, dst)))
+        diskcache.store(("k",), "value")
+        assert calls == ["fsync", "replace"]
+
+    def test_record_is_complete_at_publish_time(self, cache, monkeypatch):
+        """At the instant of the rename — the only moment an entry can
+        appear at its final path — the temp file already holds the full
+        verified record.  A SIGKILL one instruction earlier leaves *no*
+        entry; one instruction later leaves the whole one."""
+        captured = {}
+        real_replace = os.replace
+
+        def capture_then_replace(src, dst):
+            captured["bytes"] = open(src, "rb").read()
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", capture_then_replace)
+        diskcache.store(("k",), {"payload": list(range(64))})
+        assert diskcache._verified_payload(captured["bytes"]) is not None
+        assert pickle.loads(
+            diskcache._verified_payload(captured["bytes"])
+        ) == {"payload": list(range(64))}
+
+    def test_kill_before_publish_leaves_no_entry(self, cache, monkeypatch):
+        """Simulated SIGKILL between write and rename: the final path
+        never comes into existence, so a reader sees a clean miss — not
+        a truncated entry, not a quarantine."""
+        monkeypatch.setattr(os, "replace",
+                            lambda src, dst: None)  # the rename never ran
+        before = diskcache.quarantined_entries
+        diskcache.store(("k",), "value")
+        assert _entry_files(cache) == []
+        assert diskcache.load(("k",)) is None
+        assert diskcache.quarantined_entries == before  # miss, not corrupt
+
+    def test_kill_during_write_leaves_no_entry(self, cache, monkeypatch):
+        """Simulated death mid-write (the fsync never completes): no
+        entry, and no temp litter either on the exception path."""
+        def dying_fsync(fd):
+            raise OSError("simulated power loss")
+
+        monkeypatch.setattr(os, "fsync", dying_fsync)
+        diskcache.store(("k",), "value")
+        assert _entry_files(cache) == []
+        assert list(cache.glob("*.tmp")) == []
+        assert diskcache.load(("k",)) is None
+
+    def test_no_write_prefix_is_ever_observable(self, cache, monkeypatch):
+        """The adversarial sweep: for *every* prefix of the record a
+        dying writer could have flushed, the final path stays absent —
+        torn states live only under temp names that ``load`` never
+        reads."""
+        real_replace = os.replace
+        record = {}
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: record.update(
+                bytes=open(src, "rb").read()) or real_replace(src, dst))
+        diskcache.store(("k",), "value")
+        monkeypatch.setattr(os, "replace", real_replace)
+        full = record["bytes"]
+        key2 = ("other-key",)
+        final = diskcache._entry_path(key2)
+        for cut in range(len(full)):  # every possible kill point
+            tmp = final.parent / f"dead-writer-{cut}.tmp"
+            tmp.write_bytes(full[:cut])
+            assert not final.exists()
+            assert diskcache.load(key2) is None
+
+    def test_concurrent_overwrite_is_all_or_nothing(self, cache):
+        """Two writers racing the same key: a reader sees one of the two
+        complete values, never an interleaving."""
+        key = ("contested",)
+        diskcache.store(key, "first" * 1000)
+        diskcache.store(key, "second" * 1000)
+        assert diskcache.load(key) in ("first" * 1000, "second" * 1000)
+
+
+class TestHotCache:
+    """ISSUE 9 satellite: the in-memory LRU layer in front of ``load``."""
+
+    def test_miss_then_hot_hit(self, cache):
+        hot = diskcache.HotCache(capacity=4)
+        result, source = hot.get(("k",), disk=False)
+        assert (result, source) == (None, None)
+        hot.put(("k",), "value")
+        assert hot.get(("k",), disk=False) == ("value", "hot")
+        assert hot.counters()["hot_hits"] == 1
+        assert hot.counters()["misses"] == 1
+
+    def test_disk_hit_promotes(self, cache):
+        diskcache.store(("k",), "durable")
+        hot = diskcache.HotCache(capacity=4)
+        assert hot.get(("k",)) == ("durable", "disk")
+        # promoted: the second lookup never touches the disk
+        assert hot.get(("k",)) == ("durable", "hot")
+        counters = hot.counters()
+        assert counters["disk_hits"] == 1
+        assert counters["hot_hits"] == 1
+
+    def test_disk_false_skips_the_disk_layer(self, cache):
+        diskcache.store(("k",), "durable")
+        hot = diskcache.HotCache(capacity=4)
+        assert hot.get(("k",), disk=False) == (None, None)
+
+    def test_put_disk_true_persists_atomically(self, cache):
+        hot = diskcache.HotCache(capacity=4)
+        hot.put(("k",), "both layers", disk=True)
+        assert diskcache.load(("k",)) == "both layers"
+        assert diskcache.HotCache(capacity=4).get(("k",)) == \
+            ("both layers", "disk")
+
+    def test_lru_evicts_least_recently_used(self, cache):
+        hot = diskcache.HotCache(capacity=2)
+        hot.put(("a",), 1)
+        hot.put(("b",), 2)
+        hot.get(("a",), disk=False)   # refresh a: b is now the LRU
+        hot.put(("c",), 3)            # evicts b
+        assert hot.get(("a",), disk=False) == (1, "hot")
+        assert hot.get(("b",), disk=False) == (None, None)
+        assert hot.get(("c",), disk=False) == (3, "hot")
+        assert len(hot) == 2
+
+    def test_capacity_clamps_to_one(self, cache):
+        hot = diskcache.HotCache(capacity=0)
+        assert hot.capacity == 1
+        hot.put(("a",), 1)
+        hot.put(("b",), 2)
+        assert len(hot) == 1
+
+    def test_capacity_default_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOT_CACHE_SIZE", "7")
+        assert diskcache.HotCache().capacity == 7
+        monkeypatch.setenv("REPRO_HOT_CACHE_SIZE", "not-a-number")
+        assert diskcache.HotCache().capacity == 256
+        monkeypatch.delenv("REPRO_HOT_CACHE_SIZE")
+        assert diskcache.HotCache().capacity == 256
+
+    def test_clear_resets_entries_and_counters(self, cache):
+        hot = diskcache.HotCache(capacity=4)
+        hot.put(("a",), 1)
+        hot.get(("a",), disk=False)
+        hot.get(("missing",), disk=False)
+        hot.clear()
+        assert len(hot) == 0
+        counters = hot.counters()
+        assert (counters["hot_hits"], counters["misses"]) == (0, 0)
+
+    def test_module_level_shared_instance(self, cache):
+        diskcache.clear_hot()
+        try:
+            assert diskcache.load_hot(("k",), disk=False) == (None, None)
+            diskcache.store_hot(("k",), "shared")
+            assert diskcache.load_hot(("k",), disk=False) == ("shared", "hot")
+        finally:
+            diskcache.clear_hot()
+
+    def test_render_cache_report(self, cache):
+        from repro.harness.report import render_cache
+
+        hot = diskcache.HotCache(capacity=8)
+        hot.put(("a",), 1)
+        hot.get(("a",), disk=False)
+        hot.get(("a",), disk=False)
+        hot.get(("miss",), disk=False)
+        text = render_cache(hot.counters())
+        assert "result cache" in text
+        for column in ("hot", "disk", "miss", "quar", "hit%"):
+            assert column in text
+        assert "66.67" in text  # 2 hits / 3 lookups
+
+
 class TestEnabledFlag:
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
