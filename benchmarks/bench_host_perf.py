@@ -1,25 +1,33 @@
 #!/usr/bin/env python3
-"""Host-performance trajectory: wall-clock the pre-decoded fast path.
+"""Host-performance trajectory: wall-clock the host dispatch tiers.
 
 Times representative workload cells — the paper's marker-delimited
-measurement sweeps on compiled code, which is exactly what the
-pre-decoded dispatch accelerates — under both dispatch strategies in the
-same process, asserts they produce byte-identical ``ExecStats``
-summaries and guest results, and emits ``BENCH_host.json``::
+measurement sweeps on compiled code, which is exactly what the fast
+dispatch tiers accelerate — under all three dispatch strategies
+(interpretive, pre-decoded, template-jit) in the same process, asserts
+they produce byte-identical ``ExecStats`` summaries and guest results,
+and emits ``BENCH_host.json``::
 
-    {"<bench>": {"wall_s": ...,            # fast path, best of N repeats
+    {"<bench>": {"wall_s": ...,            # pre-decoded, best of N repeats
                  "baseline_wall_s": ...,   # interpretive dispatch, same run
-                 "uops_per_s": ...,        # retired uops / fast wall
-                 "speedup_vs_baseline": ...}}
+                 "uops_per_s": ...,        # retired uops / pre-decoded wall
+                 "speedup_vs_baseline": ...,
+                 "jit_wall_s": ...,        # template-jit, best of N repeats
+                 "jit_uops_per_s": ...,
+                 "jit_speedup_vs_baseline": ...}}
 
 Usage:
     python benchmarks/bench_host_perf.py [--output BENCH_host.json]
-        [--check BASELINE.json] [--repeats 3]
+        [--check BASELINE.json] [--repeats 3] [--min-jit-speedup X]
 
 ``--check`` compares the fresh measurements against a previously emitted
-file and exits non-zero if any cell's fast-path wall time regressed more
-than 25% — the CI perf-smoke gate.  Run standalone, not under pytest:
-the point is wall-clock, and pytest fixtures add noise.
+file and exits non-zero if any cell's pre-decoded or jit wall time
+regressed more than 25% — the CI perf-smoke gate.  ``--min-jit-speedup``
+additionally fails unless the *best* untimed cell's jit speedup over
+interpretive reaches the given floor (the template-jit acceptance gate;
+the floor is deliberately below the ~10-12x measured on a quiet machine
+so shared-runner noise cannot flake it).  Run standalone, not under
+pytest: the point is wall-clock, and pytest fixtures add noise.
 """
 
 from __future__ import annotations
@@ -144,6 +152,8 @@ def run_suite(repeats: int) -> dict:
     for bench, cell in cells:
         fast_wall, fast_uops, fast_digest = _time_cell(
             lambda: cell("predecoded"), repeats)
+        jit_wall, jit_uops, jit_digest = _time_cell(
+            lambda: cell("jit"), repeats)
         slow_wall, _slow_uops, slow_digest = _time_cell(
             lambda: cell("interpretive"), repeats)
         if fast_digest != slow_digest:
@@ -151,16 +161,26 @@ def run_suite(repeats: int) -> dict:
                 f"{bench}: pre-decoded dispatch diverged from interpretive "
                 "dispatch — the fast path is NOT observationally inert"
             )
+        if jit_digest != slow_digest:
+            raise AssertionError(
+                f"{bench}: template-jit dispatch diverged from interpretive "
+                "dispatch — the fused tier is NOT observationally inert"
+            )
         results[bench] = {
             "wall_s": round(fast_wall, 4),
             "baseline_wall_s": round(slow_wall, 4),
             "uops_per_s": round(fast_uops / fast_wall),
             "speedup_vs_baseline": round(slow_wall / fast_wall, 2),
+            "jit_wall_s": round(jit_wall, 4),
+            "jit_uops_per_s": round(jit_uops / jit_wall),
+            "jit_speedup_vs_baseline": round(slow_wall / jit_wall, 2),
         }
-        print(f"{bench:>20}: fast {fast_wall:.3f}s  "
+        print(f"{bench:>20}: pre {fast_wall:.3f}s "
+              f"({results[bench]['speedup_vs_baseline']:.2f}x)  "
+              f"jit {jit_wall:.3f}s "
+              f"({results[bench]['jit_speedup_vs_baseline']:.2f}x)  "
               f"interpretive {slow_wall:.3f}s  "
-              f"{results[bench]['speedup_vs_baseline']:.2f}x  "
-              f"({results[bench]['uops_per_s']:,} uops/s)")
+              f"({results[bench]['jit_uops_per_s']:,} jit uops/s)")
     return results
 
 
@@ -171,17 +191,38 @@ def check_regression(fresh: dict, baseline_path: Path) -> int:
         base = baseline.get(bench)
         if base is None:
             continue
-        budget = base["wall_s"] * (1.0 + REGRESSION_BUDGET)
-        if entry["wall_s"] > budget:
-            failures.append(
-                f"{bench}: {entry['wall_s']:.3f}s vs baseline "
-                f"{base['wall_s']:.3f}s (>{REGRESSION_BUDGET:.0%} budget)"
-            )
+        for key, label in (("wall_s", "pre-decoded"),
+                           ("jit_wall_s", "jit")):
+            if key not in base:
+                continue
+            budget = base[key] * (1.0 + REGRESSION_BUDGET)
+            if entry[key] > budget:
+                failures.append(
+                    f"{bench} ({label}): {entry[key]:.3f}s vs baseline "
+                    f"{base[key]:.3f}s (>{REGRESSION_BUDGET:.0%} budget)"
+                )
     if failures:
         print("PERF REGRESSION:", *failures, sep="\n  ")
         return 1
     print(f"perf check ok: no cell regressed more than "
           f"{REGRESSION_BUDGET:.0%} vs {baseline_path}")
+    return 0
+
+
+def check_jit_floor(fresh: dict, floor: float) -> int:
+    """The template-jit acceptance gate: the best untimed cell must beat
+    interpretive dispatch by at least ``floor``x."""
+    untimed = {bench: entry["jit_speedup_vs_baseline"]
+               for bench, entry in fresh.items()
+               if not bench.endswith("_timed")}
+    best_bench = max(untimed, key=untimed.get)
+    best = untimed[best_bench]
+    if best < floor:
+        print(f"JIT SPEEDUP GATE FAILED: best untimed cell {best_bench} "
+              f"reached {best:.2f}x vs interpretive (floor {floor:.1f}x)")
+        return 1
+    print(f"jit gate ok: {best_bench} at {best:.2f}x vs interpretive "
+          f"(floor {floor:.1f}x)")
     return 0
 
 
@@ -195,6 +236,10 @@ def main() -> int:
                              "against this previously emitted file")
     parser.add_argument("--repeats", type=int, default=3,
                         help="wall-clock repetitions per cell (best-of)")
+    parser.add_argument("--min-jit-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the best untimed cell's jit "
+                             "speedup over interpretive reaches X")
     args = parser.parse_args()
 
     results = run_suite(args.repeats)
@@ -203,9 +248,12 @@ def main() -> int:
     )
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
+    status = 0
     if args.check:
-        return check_regression(results, Path(args.check))
-    return 0
+        status = check_regression(results, Path(args.check))
+    if args.min_jit_speedup is not None:
+        status = check_jit_floor(results, args.min_jit_speedup) or status
+    return status
 
 
 if __name__ == "__main__":

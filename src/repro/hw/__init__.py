@@ -17,6 +17,7 @@ from .config import (
     HTM_ROCK_STORE_BUFFER,
     HTM_SETJMP_DELIVERY,
     HardwareConfig,
+    JIT_MODES,
     OOO_2WIDE,
     OOO_2WIDE_HALF,
     htm_variant_configs,
@@ -31,6 +32,14 @@ from .isa import (
 )
 from .machine import Machine
 from .stats import ExecStats, RegionExecution
+from .templatejit import (
+    FUSABLE_MOPS,
+    JitProfile,
+    JittedMethod,
+    fused_runs,
+    get_jitted,
+    jit_source,
+)
 from .timing import INTERPRETER_CYCLES_PER_BYTECODE, TimingModel
 
 __all__ = [
@@ -45,6 +54,7 @@ __all__ = [
     "CombiningPredictor",
     "CompiledMethod",
     "ExecStats",
+    "FUSABLE_MOPS",
     "FALLBACK_LOCK_MODES",
     "HTM_CACHE_SHAPED",
     "HTM_FALLBACK_LOCK_BEGIN",
@@ -55,6 +65,9 @@ __all__ = [
     "HW_ESCALATION_REASONS",
     "HardwareConfig",
     "INTERPRETER_CYCLES_PER_BYTECODE",
+    "JIT_MODES",
+    "JitProfile",
+    "JittedMethod",
     "MInstr",
     "MOp",
     "Machine",
@@ -64,8 +77,11 @@ __all__ = [
     "RETRYABLE_REASONS",
     "RegionExecution",
     "TimingModel",
+    "fused_runs",
     "generate_code",
+    "get_jitted",
     "htm_variant_configs",
+    "jit_source",
     "lower_phis",
     "split_critical_edges",
 ]

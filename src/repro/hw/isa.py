@@ -215,6 +215,9 @@ class CompiledMethod:
     #: cached pre-decoded dispatch form (:mod:`repro.hw.codegen`'s
     #: ``predecode``); not part of value semantics.
     _predecoded: object = field(default=None, repr=False, compare=False)
+    #: cached template-jit dispatch form (:mod:`repro.hw.templatejit`'s
+    #: ``jit_compile``); dropped together with ``_predecoded``.
+    _jitted: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instrs)
@@ -232,5 +235,8 @@ class CompiledMethod:
         self.invalidate_predecode()
 
     def invalidate_predecode(self) -> None:
-        """Drop the cached pre-decoded dispatch form (if any)."""
+        """Drop every cached installed-code form (pre-decoded arrays and
+        template-jit fused functions); both rebuild lazily from the
+        patched code on the next fast-path activation."""
         self._predecoded = None
+        self._jitted = None

@@ -66,7 +66,7 @@ SERVICE_HARDWARE = dict(HARDWARE_CONFIGS)
 for _hw in htm_variant_configs():
     SERVICE_HARDWARE.setdefault(_hw.name, _hw)
 
-_DISPATCH_MODES = ("auto", "interpretive", "fast")
+_DISPATCH_MODES = ("auto", "interpretive", "fast", "predecoded", "jit")
 
 _CELL_FIELDS = frozenset((
     "workload", "compiler", "hardware", "seed", "timing",

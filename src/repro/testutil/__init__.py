@@ -9,15 +9,19 @@ from .diff import (
 )
 from .genprog import GenConfig, ProgramGenerator, random_program
 from .hypo import register_hypothesis_profiles
+from .uopgen import UopCase, run_uop_case, uop_case
 
 __all__ = [
     "GenConfig",
     "Outcome",
     "ProgramGenerator",
+    "UopCase",
     "assert_same_outcome",
     "outcome_bytecode",
     "outcome_ir",
     "profiled",
     "random_program",
     "register_hypothesis_profiles",
+    "run_uop_case",
+    "uop_case",
 ]

@@ -1,0 +1,330 @@
+"""Random straight-line uop programs for the dispatch-tier battery.
+
+:mod:`repro.testutil.genprog` fuzzes whole guest programs through the
+compiler; this module fuzzes the *machine* directly.  Each seed builds a
+hand-crafted :class:`~repro.hw.isa.CompiledMethod` — a straight-line
+sequence of the uops the template JIT fuses (ALU, typed memory,
+spill/global traffic, allocation, lock probes, hardware traps),
+optionally wrapped in an atomic region with a recovery path — plus a
+deterministic seeded heap, and runs it on a fresh
+:class:`~repro.hw.machine.Machine` under any dispatch tier.
+
+The point is adversarial coverage of the fused templates' *bail* edges:
+registers deliberately hold a soup of ints, nulls, objects, and arrays,
+so generated operands routinely hit every deoptimization path (non-int
+ALU operands, null/junk memory bases, out-of-bounds and non-int indexes,
+reference comparisons, negative array lengths, division by zero, traps
+inside and outside regions).  Whatever happens — a value, a guest trap,
+a host ``VMError``/``TypeError`` from genuinely malformed code — every
+tier must agree byte-for-byte on the outcome, the
+``ExecStats.summary()``, and the heap fingerprint
+(:func:`run_uop_case` returns all three; the battery in
+``tests/test_templatejit.py`` compares them across tiers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..hw.config import BASELINE_4WIDE, HardwareConfig
+from ..hw.isa import CompiledMethod, MInstr, MOp
+from ..hw.machine import Machine
+from ..hw.stats import ExecStats
+from ..hw.timing import TimingModel
+from ..lang.bytecode import ClassDef, Program
+from ..runtime.heap import Heap
+
+__all__ = ["UopCase", "run_uop_case", "uop_case"]
+
+#: the one guest class seeded heaps instantiate.
+_CLASS = "Node"
+_FIELDS = ("f0", "f1", "f2")
+
+#: binary ALU uops the generator draws from.
+_ALU = (MOp.ADD, MOp.SUB, MOp.MUL, MOp.DIV, MOp.MOD,
+        MOp.AND, MOp.OR, MOp.XOR, MOp.SHL, MOp.SHR)
+
+#: trap conditions (``uge`` excluded: real codegen only emits it on
+#: known-int bounds checks, and on references it raises a host TypeError
+#: from *inside* ``machine_compare`` rather than a modeled error).
+_TRAP_CONDS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+_NUM_REGS = 12
+_NUM_PARAMS = 6
+_NUM_SPILL = 4
+
+
+@dataclass
+class UopCase:
+    """One generated machine-level program plus its seeded-heap recipe."""
+
+    seed: int
+    compiled: CompiledMethod
+    program: Program
+    #: argument recipe: ("int", k) | ("null",) | ("obj", slot values) |
+    #: ("arr", element values).  Replayed against a fresh heap per run so
+    #: every tier sees identical objects at identical addresses.
+    arg_specs: list = field(default_factory=list)
+
+    def make_args(self, heap: Heap) -> list:
+        args = []
+        layout = self.program.field_layout(_CLASS)
+        for spec in self.arg_specs:
+            kind = spec[0]
+            if kind == "int":
+                args.append(spec[1])
+            elif kind == "null":
+                args.append(None)
+            elif kind == "obj":
+                obj = heap.new_object(_CLASS, layout)
+                for slot, value in enumerate(spec[1]):
+                    obj.slots[slot] = value
+                args.append(obj)
+            else:
+                arr = heap.new_array(len(spec[1]))
+                arr.values[:] = list(spec[1])
+                args.append(arr)
+        return args
+
+
+def _base_program() -> Program:
+    program = Program()
+    program.add_class(ClassDef(name=_CLASS, fields=list(_FIELDS)))
+    return program
+
+
+def uop_case(seed: int, region_bias: float = 0.5) -> UopCase:
+    """Generate one seeded straight-line case (deterministic per seed).
+
+    ``region_bias`` is the probability the body runs inside an atomic
+    region with a constant-returning recovery path.
+    """
+    rng = random.Random(seed)
+    regs = range(_NUM_REGS)
+
+    # Static type shadows.  Operand picks draw from the matching shadow
+    # most of the time — a mistyped operand is usually *fatal* (host
+    # TypeError/VMError or a guest trap), so the wildcard rate directly
+    # sets expected program depth.  At 8% per operand most programs run
+    # deep into the fused templates, while across a battery of seeds
+    # every template's bail edge still fires many times.
+    int_regs: set[int] = set()     # definitely holds an int
+    small_regs: set[int] = set()   # definitely holds a small int
+    tiny_regs: set[int] = set()    # definitely holds an int in 0..2
+    obj_regs: set[int] = set()     # definitely holds a GuestObject
+    arr_regs: set[int] = set()     # definitely holds a GuestArray
+
+    # Always seed at least one object and one array: without them every
+    # memory uop's typed pick degenerates to a (usually fatal) wildcard
+    # and the whole program dies within a handful of uops.
+    kinds = ["obj", "arr"] + [rng.choice(("int", "int", "obj", "arr", "null"))
+                              for _ in range(_NUM_PARAMS - 2)]
+    rng.shuffle(kinds)
+
+    arg_specs = []
+    for index, kind in enumerate(kinds):
+        if kind == "int":
+            value = rng.choice((0, 1, -1, 7, -(1 << 62), (1 << 62) + 11))
+            arg_specs.append(("int", value))
+            int_regs.add(index)
+            if abs(value) <= 64:
+                small_regs.add(index)
+            if 0 <= value <= 2:
+                tiny_regs.add(index)
+        elif kind == "obj":
+            arg_specs.append(("obj", [rng.randrange(-9, 9)
+                                      for _ in _FIELDS]))
+            obj_regs.add(index)
+        elif kind == "arr":
+            arg_specs.append(("arr", [rng.randrange(-9, 9)
+                                      for _ in range(rng.randrange(1, 5))]))
+            arr_regs.add(index)
+        else:
+            arg_specs.append(("null",))
+
+    def wrote(reg: int) -> None:
+        int_regs.discard(reg)
+        small_regs.discard(reg)
+        tiny_regs.discard(reg)
+        obj_regs.discard(reg)
+        arr_regs.discard(reg)
+
+    def pick_from(pool: set[int]) -> int:
+        if pool and rng.random() < 0.92:
+            return rng.choice(sorted(pool))
+        return rng.choice(regs)
+
+    body: list[MInstr] = []
+
+    def gen_uop() -> None:
+        pick = rng.randrange(100)
+        dst = rng.choice(regs)
+        if pick < 12:
+            imm = rng.choice((0, 1, 2, -3, 64, (1 << 63) - 1))
+            body.append(MInstr(MOp.CONST, dst=dst, imm=imm))
+            wrote(dst)
+            int_regs.add(dst)
+            if abs(imm) <= 64:
+                small_regs.add(dst)
+            if 0 <= imm <= 2:
+                tiny_regs.add(dst)
+        elif pick < 16:
+            a = rng.choice(regs)
+            body.append(MInstr(MOp.MOV, dst=dst, a=a))
+            was = (a in int_regs, a in small_regs, a in tiny_regs,
+                   a in obj_regs, a in arr_regs)
+            wrote(dst)
+            for member, pool in zip(
+                    was,
+                    (int_regs, small_regs, tiny_regs, obj_regs, arr_regs)):
+                if member:
+                    pool.add(dst)
+        elif pick < 34:
+            a, b = pick_from(int_regs), pick_from(int_regs)
+            body.append(MInstr(rng.choice(_ALU), dst=dst, a=a, b=b))
+            wrote(dst)
+            if a in int_regs and b in int_regs:
+                int_regs.add(dst)
+        elif pick < 40:
+            body.append(MInstr(MOp.LOADF, dst=dst, a=pick_from(obj_regs),
+                               fieldname=rng.choice(_FIELDS)))
+            wrote(dst)
+        elif pick < 46:
+            body.append(MInstr(MOp.STOREF, a=pick_from(obj_regs),
+                               b=rng.choice(regs),
+                               fieldname=rng.choice(_FIELDS)))
+        elif pick < 52:
+            body.append(MInstr(MOp.LOADA, dst=dst, a=pick_from(arr_regs),
+                               b=pick_from(tiny_regs)))
+            wrote(dst)
+        elif pick < 58:
+            body.append(MInstr(MOp.STOREA, a=pick_from(arr_regs),
+                               b=pick_from(tiny_regs), c=rng.choice(regs)))
+        elif pick < 62:
+            body.append(MInstr(MOp.LOADLEN, dst=dst, a=pick_from(arr_regs)))
+            wrote(dst)
+            int_regs.add(dst)
+            small_regs.add(dst)
+        elif pick < 66:
+            body.append(MInstr(MOp.LOADLOCK, dst=dst,
+                               a=pick_from(obj_regs)))
+            wrote(dst)
+            int_regs.add(dst)
+            small_regs.add(dst)
+            tiny_regs.add(dst)
+        elif pick < 70:
+            body.append(MInstr(MOp.CLASSOF, dst=dst,
+                               a=pick_from(obj_regs)))
+            wrote(dst)
+        elif pick < 75:
+            body.append(MInstr(MOp.LOADSPILL, dst=dst,
+                               imm=rng.randrange(_NUM_SPILL)))
+            wrote(dst)
+        elif pick < 80:
+            body.append(MInstr(MOp.STORESPILL, a=rng.choice(regs),
+                               imm=rng.randrange(_NUM_SPILL)))
+        elif pick < 83:
+            body.append(MInstr(MOp.LOADG, dst=dst,
+                               imm=rng.choice((None, 0x7000 + 8 * dst))))
+            wrote(dst)
+            int_regs.add(dst)
+            small_regs.add(dst)
+            tiny_regs.add(dst)
+        elif pick < 87:
+            body.append(MInstr(MOp.NEWOBJ, dst=dst, cls=_CLASS))
+            wrote(dst)
+            obj_regs.add(dst)
+        elif pick < 91:
+            # Array length must come from a provably small register: a
+            # wildcard pick could alias a 2**62 int and the host would
+            # genuinely try to allocate it.
+            if not tiny_regs:
+                length_reg = rng.choice(regs)
+                body.append(MInstr(MOp.CONST, dst=length_reg,
+                                   imm=rng.randrange(3)))
+                wrote(length_reg)
+                int_regs.add(length_reg)
+                small_regs.add(length_reg)
+                tiny_regs.add(length_reg)
+            else:
+                length_reg = rng.choice(sorted(tiny_regs))
+            body.append(MInstr(MOp.NEWARR, dst=dst, a=length_reg))
+            wrote(dst)
+            arr_regs.add(dst)
+        elif pick < 95:
+            body.append(MInstr(MOp.CONST_NULL, dst=dst))
+            wrote(dst)
+        else:
+            a, b = pick_from(int_regs), pick_from(int_regs)
+            body.append(MInstr(MOp.BR_TRAP, cond=rng.choice(_TRAP_CONDS),
+                               a=a, b=None if rng.random() < 0.4 else b))
+
+    for _ in range(rng.randrange(4, 40)):
+        gen_uop()
+    ret_reg = rng.choice(regs)
+    regioned = rng.random() < region_bias
+
+    instrs: list[MInstr] = []
+    region_entries: dict[int, int] = {}
+    if regioned:
+        split = rng.randrange(len(body) + 1)
+        instrs.extend(body[:split])
+        begin_index = len(instrs)
+        instrs.append(MInstr(MOp.AREGION_BEGIN, imm=1))
+        region_entries[1] = begin_index
+        instrs.extend(body[split:])
+        instrs.append(MInstr(MOp.AREGION_END))
+        instrs.append(MInstr(MOp.RET, a=ret_reg))
+        # Recovery path: land here on any abort, return a sentinel.
+        alt = len(instrs)
+        instrs[begin_index].target = alt
+        instrs.append(MInstr(MOp.CONST, dst=ret_reg,
+                             imm=-(1000 + seed % 997)))
+        instrs.append(MInstr(MOp.RET, a=ret_reg))
+    else:
+        instrs.extend(body)
+        instrs.append(MInstr(MOp.RET, a=ret_reg))
+
+    compiled = CompiledMethod(
+        name=f"uopcase_{seed}",
+        num_params=_NUM_PARAMS,
+        instrs=instrs,
+        num_regs=_NUM_REGS,
+        num_spill_slots=_NUM_SPILL,
+        region_entries=region_entries,
+        uses_regions=regioned,
+    )
+    compiled.param_locations = tuple(  # type: ignore[attr-defined]
+        ("r", index) for index in range(_NUM_PARAMS))
+    return UopCase(seed=seed, compiled=compiled, program=_base_program(),
+                   arg_specs=arg_specs)
+
+
+def run_uop_case(case: UopCase, dispatch: str, timing: bool = False,
+                 hw: HardwareConfig = BASELINE_4WIDE):
+    """Run ``case`` on a fresh machine/heap under one dispatch tier.
+
+    Returns ``(outcome, stats_summary, heap_fingerprint)`` where
+    ``outcome`` is ``("value", v)`` or ``("raise", type, str)`` —
+    generated programs legitimately produce guest traps *and* host-level
+    ``VMError``/``TypeError`` for malformed operands, and the tiers must
+    agree on those too.
+    """
+    heap = Heap()
+    stats = ExecStats()
+    machine = Machine(
+        case.program, heap, config=hw, stats=stats,
+        timing=TimingModel(hw) if timing else None, dispatch=dispatch,
+    )
+    args = case.make_args(heap)
+    try:
+        value = machine.execute(case.compiled, args)
+        if not isinstance(value, (int, type(None))):
+            # References are per-run host objects; their repr (class +
+            # deterministic heap address) is the comparable identity.
+            value = repr(value)
+        outcome = ("value", value)
+    except Exception as exc:  # noqa: BLE001 - the comparison IS the test
+        outcome = ("raise", type(exc).__name__, str(exc))
+    return outcome, stats.summary(), heap.fingerprint()

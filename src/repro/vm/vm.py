@@ -40,9 +40,11 @@ class VMOptions:
     auto_compile: bool = True
     #: synthetic interrupt period in uops (None = no interrupts).
     interrupt_interval: int | None = None
-    #: machine dispatch strategy: "auto" (pre-decoded fast path when
-    #: observationally safe), "predecoded", or "interpretive" (always the
-    #: instrumented slow loop).  See :class:`repro.hw.machine.Machine`.
+    #: machine dispatch strategy: "auto" (the fastest observationally
+    #: safe tier — template-jit when the hardware config's ``jit_mode``
+    #: is "on", else pre-decoded), "jit", "predecoded", or
+    #: "interpretive" (always the instrumented slow loop).  See
+    #: :class:`repro.hw.machine.Machine`.
     dispatch: str = "auto"
 
 
@@ -164,6 +166,11 @@ class TieredVM:
                 if region_id in record.compiled.region_entries:
                     record.compiled.disable_region(region_id)
         self.compiled[qualified] = record
+        # Build the machine's dispatch caches (pre-decode / template-jit
+        # host compile) now, while we are still at compile time: the
+        # first post-install activation is typically the first *measured*
+        # call, and host-compilation cost must not land in the sample.
+        self.machine.prepare(record.compiled)
         self.compilations += 1
         if self.tracer.enabled:
             # Tier transition: this method leaves the interpreter for the

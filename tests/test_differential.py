@@ -150,42 +150,51 @@ class TestTracingChangesNothing:
         assert "tier_compile" in kinds
 
 
-class TestDispatchEquivalence:
-    """Pre-decoded dispatch is observationally inert (the PR 4 contract):
-    byte-identical outcomes, ``ExecStats.summary()`` dicts, and traced
-    event streams versus the interpretive loop, seed by seed."""
+#: the host fast tiers under differential test: the pre-decoded arrays
+#: (the PR 4 contract) and the template-jit fused functions riding the
+#: same invalidation discipline.
+FAST_DISPATCHES = ["predecoded", "jit"]
 
+
+class TestDispatchEquivalence:
+    """Every fast dispatch tier is observationally inert: byte-identical
+    outcomes, ``ExecStats.summary()`` dicts, and traced event streams
+    versus the interpretive loop, seed by seed."""
+
+    @pytest.mark.parametrize("dispatch", FAST_DISPATCHES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_fast_path_byte_identical(self, seed):
+    def test_fast_path_byte_identical(self, seed, dispatch):
         """Timed run: same outcome and stats summary — including every
         cycle-level counter the timing model feeds — both dispatch ways."""
-        fast = _run_tiered(_generate(seed), dispatch="predecoded")
+        fast = _run_tiered(_generate(seed), dispatch=dispatch)
         slow = _run_tiered(_generate(seed), dispatch="interpretive")
         assert (fast[0], fast[1]) == (slow[0], slow[1]), (
-            f"seed {seed}: dispatch modes disagree on the outcome"
+            f"seed {seed}: {dispatch} dispatch disagrees on the outcome"
         )
         assert fast[2].summary() == slow[2].summary(), (
-            f"seed {seed}: dispatch modes disagree on ExecStats"
+            f"seed {seed}: {dispatch} dispatch disagrees on ExecStats"
         )
 
+    @pytest.mark.parametrize("dispatch", FAST_DISPATCHES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_fast_path_byte_identical_functional(self, seed):
+    def test_fast_path_byte_identical_functional(self, seed, dispatch):
         """Untimed run: the functional-mode stats agree too."""
         fast = _run_tiered(_generate(seed), timing=False,
-                           dispatch="predecoded")
+                           dispatch=dispatch)
         slow = _run_tiered(_generate(seed), timing=False,
                            dispatch="interpretive")
         assert (fast[0], fast[1]) == (slow[0], slow[1])
         assert fast[2].summary() == slow[2].summary()
 
+    @pytest.mark.parametrize("dispatch", FAST_DISPATCHES)
     @pytest.mark.parametrize("seed", SEEDS[:10])
-    def test_traced_event_streams_identical(self, seed):
+    def test_traced_event_streams_identical(self, seed, dispatch):
         """With a live tracer both modes must emit bit-identical event
-        streams (the fast path yields to the instrumented loop rather
+        streams (the fast tiers yield to the instrumented loop rather
         than skip emission sites)."""
         fast_tracer = Tracer()
         fast = _run_tiered(_generate(seed), tracer=fast_tracer,
-                           dispatch="predecoded")
+                           dispatch=dispatch)
         slow_tracer = Tracer()
         slow = _run_tiered(_generate(seed), tracer=slow_tracer,
                            dispatch="interpretive")
@@ -236,6 +245,24 @@ class TestHTMVariantEquivalence:
                 _generate(seed), timing=False, hw=hw)
             assert (value, error) == (base_value, base_error), (
                 f"seed {seed}: {hw.name} diverged from unbounded baseline"
+            )
+
+    @pytest.mark.parametrize("hw", HTM_MATRIX, ids=lambda h: h.name)
+    def test_jit_matches_interpretive_on_variants(self, hw):
+        """The fused tier specialises its emitted code per HTM shape
+        (store bounds, cache-shaped overflow tracking, fallback-begin
+        lock checks, setjmp delivery) — every specialisation must stay
+        byte-identical to the interpretive loop on that same shape."""
+        for seed in SEEDS[:15]:
+            jit = _run_tiered(_generate(seed), timing=False,
+                              dispatch="jit", hw=hw)
+            slow = _run_tiered(_generate(seed), timing=False,
+                               dispatch="interpretive", hw=hw)
+            assert (jit[0], jit[1]) == (slow[0], slow[1]), (
+                f"seed {seed}: jit diverged on {hw.name}"
+            )
+            assert jit[2].summary() == slow[2].summary(), (
+                f"seed {seed}: jit stats diverged on {hw.name}"
             )
 
     def test_sweep_fires_capacity_aborts(self):
@@ -308,11 +335,13 @@ class TestAtomicUopEquivalence:
     the atomic-uop counters) across the interpretive loop, the pre-decoded
     fast path, tracing on/off, and every best-effort HTM shape."""
 
+    @pytest.mark.parametrize("dispatch", FAST_DISPATCHES)
     @pytest.mark.parametrize("name,build,warm,run",
                              ATOMIC_CASES,
                              ids=[c[0] for c in ATOMIC_CASES])
-    def test_dispatch_modes_byte_identical(self, name, build, warm, run):
-        fast = _run_atomic(build, warm, run, dispatch="predecoded")
+    def test_dispatch_modes_byte_identical(self, name, build, warm, run,
+                                           dispatch):
+        fast = _run_atomic(build, warm, run, dispatch=dispatch)
         slow = _run_atomic(build, warm, run, dispatch="interpretive")
         assert fast[0] == slow[0], f"{name}: return values diverged"
         assert fast[1] == slow[1], f"{name}: heap fingerprints diverged"
@@ -410,13 +439,14 @@ class TestWorkloadFiguresUnchanged:
             assert trace.guest_results == base.guest_results
             assert trace.stats.summary() == base.stats.summary()
 
+    @pytest.mark.parametrize("dispatch", FAST_DISPATCHES)
     @pytest.mark.parametrize("name", workload_names())
-    def test_stats_identical_fast_vs_interpretive(self, name):
-        """Figure 7/8 inputs are byte-identical under both dispatch modes
-        — the published tables cannot depend on the host fast path."""
+    def test_stats_identical_fast_vs_interpretive(self, name, dispatch):
+        """Figure 7/8 inputs are byte-identical under every dispatch mode
+        — the published tables cannot depend on the host fast tiers."""
         workload = get_workload(name)
         fast = run_workload(workload, ATOMIC_AGGRESSIVE, use_cache=False,
-                            dispatch="predecoded")
+                            dispatch=dispatch)
         slow = run_workload(workload, ATOMIC_AGGRESSIVE, use_cache=False,
                             dispatch="interpretive")
         assert len(fast.samples) == len(slow.samples)
